@@ -1,0 +1,43 @@
+# Development targets for the Pragma reproduction.
+
+GO ?= go
+
+.PHONY: build test test-short vet bench experiments ablations extensions fmt cover clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast subset: skips the paper-scale shape tests (~20 s).
+test-short: vet
+	$(GO) test -short ./...
+
+# Full suite, including the paper-scale Table 4/5 shape tests (~3 min).
+test: vet
+	$(GO) test ./...
+
+# One timed regeneration of every table, figure and ablation.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Print every table and figure of the paper.
+experiments:
+	$(GO) run ./cmd/pragma-bench -all
+
+ablations:
+	$(GO) run ./cmd/pragma-bench -ablations
+
+extensions:
+	$(GO) run ./cmd/pragma-bench -extensions
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

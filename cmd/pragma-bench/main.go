@@ -1,0 +1,321 @@
+// Command pragma-bench regenerates the tables and figures of the paper's
+// evaluation (Parashar & Hariri, IPDPS 2002) and prints them in the paper's
+// format.
+//
+// Usage:
+//
+//	pragma-bench -all            # every table and figure (paper scale, ~2 min)
+//	pragma-bench -table 4        # one table
+//	pragma-bench -figure 3       # one figure
+//	pragma-bench -table 4 -small # reduced configuration (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pragma-grid/pragma/internal/experiments"
+	"github.com/pragma-grid/pragma/internal/rm3d"
+)
+
+// rm3dSmall avoids importing rm3d at every call site.
+func rm3dSmall() rm3d.Config { return rm3d.SmallConfig() }
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "regenerate one table (1-5)")
+		figure     = flag.Int("figure", 0, "regenerate one figure (2-4)")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		small      = flag.Bool("small", false, "use the reduced configuration for Tables 4 and 5")
+		ablations  = flag.Bool("ablations", false, "run the DESIGN.md ablation studies")
+		extensions = flag.Bool("extensions", false, "run the extension experiments (cross-application study, PF runtime prediction)")
+	)
+	flag.Parse()
+	if !*all && !*ablations && !*extensions && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		fmt.Println(strings.Repeat("=", 64))
+		fmt.Println(name)
+		fmt.Println(strings.Repeat("=", 64))
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	want := func(n int, sel *int) bool { return *all || *sel == n }
+
+	if want(1, table) {
+		run("Table 1. Accuracy of the Performance Functions", func() error { return printTable1() })
+	}
+	if want(2, table) {
+		run("Table 2. Recommendations for mapping octants onto partitioning schemes", func() error { return printTable2() })
+	}
+	if want(3, table) {
+		run("Table 3. Characterizing RM3D application run-time state", func() error { return printTable3() })
+	}
+	if want(4, table) {
+		run("Table 4. Partitioner performance for RM3D on 64 processors", func() error { return printTable4(*small) })
+	}
+	if want(5, table) {
+		run("Table 5. Improvement due to system-sensitive partitioning", func() error { return printTable5(*small) })
+	}
+	if want(2, figure) {
+		run("Figure 2. Octant occupancy of the RM3D run", func() error { return printFigure2() })
+	}
+	if want(3, figure) {
+		run("Figure 3. RM3D profile views at sampled time-steps", func() error { return printFigure3() })
+	}
+	if want(4, figure) {
+		run("Figure 4. System-sensitive adaptive partitioning pipeline", func() error { return printFigure4() })
+	}
+	if *ablations {
+		run("Ablations (DESIGN.md §6)", func() error { return printAblations(*small) })
+	}
+	if *extensions {
+		run("Extension experiments", func() error { return printExtensions() })
+	}
+}
+
+func printExtensions() error {
+	fmt.Println("-- Cross-application study (all three §2 driver applications) --")
+	xRows, err := experiments.CrossApplication(8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %-34s %-10s %-22s %s\n", "app", "octant occupancy I..VIII", "adaptive", "best static", "switches")
+	for _, r := range xRows {
+		occ := ""
+		for i, v := range r.Occupancy {
+			if i > 0 {
+				occ += " "
+			}
+			occ += fmt.Sprintf("%d", v)
+		}
+		fmt.Printf("  %-10s %-34s %8.2fs  %-10s %8.2fs  %d\n",
+			r.Application, occ, r.AdaptiveTime, r.BestStatic, r.BestStaticTime, r.Switches)
+	}
+
+	fmt.Println("-- PF-based application runtime prediction (G-MISP+SP, reduced RM3D) --")
+	pRows, err := experiments.PFRuntimePrediction(rm3dSmall())
+	if err != nil {
+		return err
+	}
+	for _, r := range pRows {
+		kind := "interpolated"
+		if r.Extrapolated {
+			kind = "extrapolated"
+		}
+		fmt.Printf("  procs %3d: predicted %8.2fs   simulated %8.2fs   error %5.2f%% (%s)\n",
+			r.Procs, r.Predicted, r.Simulated, r.PercentError, kind)
+	}
+	return nil
+}
+
+func printAblations(small bool) error {
+	cfg := experiments.DefaultTable4Config().Trace
+	procs := 64
+	linuxProcs := 16
+	if small {
+		cfg = experiments.SmallTable4Config().Trace
+		procs = 16
+		linuxProcs = 8
+	}
+
+	fmt.Println("-- Hilbert vs Morton ordering (SP-ISP) --")
+	curveRows, err := experiments.AblationCurves(cfg, procs, 8)
+	if err != nil {
+		return err
+	}
+	for _, r := range curveRows {
+		fmt.Printf("  %-8s comm volume %10.0f   messages %8.1f   imbalance %6.2f%%\n",
+			r.Curve, r.CommVolume, r.CommMessages, r.Imbalance)
+	}
+
+	fmt.Println("-- Greedy vs optimal sequence partitioning (G-MISP decomposition) --")
+	splitRows, err := experiments.AblationSplitters(cfg, procs, 8)
+	if err != nil {
+		return err
+	}
+	for _, r := range splitRows {
+		fmt.Printf("  %-10s mean imbalance %6.2f%%   max %6.2f%%\n", r.Splitter, r.Imbalance, r.MaxImbalance)
+	}
+
+	fmt.Println("-- NWS forecaster suite (CPU availability series) --")
+	fRows, err := experiments.AblationForecasters(16, 400, 2002)
+	if err != nil {
+		return err
+	}
+	for _, r := range fRows {
+		fmt.Printf("  %-20s MSE %.3e\n", r.Forecaster, r.MSE)
+	}
+
+	fmt.Println("-- Adaptive vs statics across processor counts --")
+	counts := []int{16, 32, 64}
+	if small {
+		counts = []int{4, 8, 16}
+	}
+	pRows, err := experiments.AblationProcSweep(cfg, counts)
+	if err != nil {
+		return err
+	}
+	for _, r := range pRows {
+		fmt.Printf("  procs %3d: adaptive %8.2fs   best static %s %8.2fs   worst static %s %8.2fs   improvement vs worst %.1f%%\n",
+			r.Procs, r.AdaptiveTime, r.BestStatic, r.BestStaticTime, r.WorstStatic, r.WorstStaticTime, r.AdaptiveVsWorstStatic)
+	}
+
+	fmt.Println("-- Capacity weight sensitivity (Table 5 scenario) --")
+	wRows, err := experiments.AblationCapacityWeights(cfg, linuxProcs, 2002)
+	if err != nil {
+		return err
+	}
+	for _, r := range wRows {
+		fmt.Printf("  cpu %.2f mem %.2f bw %.2f: improvement %6.2f%%\n",
+			r.Weights.CPU, r.Weights.Memory, r.Weights.Bandwidth, r.Improvement)
+	}
+
+	fmt.Println("-- Fail-stop failure injection (fault-tolerant G-MISP+SP) --")
+	fRows2, err := experiments.AblationFailures(cfg, linuxProcs)
+	if err != nil {
+		return err
+	}
+	for _, r := range fRows2 {
+		fmt.Printf("  %-24s runtime %8.2fs   detections %d\n", r.Scenario, r.Runtime, r.Detected)
+	}
+
+	fmt.Println("-- Runtime-management styles on a loaded cluster --")
+	mRows, err := experiments.AblationManagement(cfg, linuxProcs, 2002)
+	if err != nil {
+		return err
+	}
+	for _, r := range mRows {
+		fmt.Printf("  %-18s runtime %8.2fs   repartitions %d\n", r.Strategy, r.Runtime, r.Repartitions)
+	}
+	return nil
+}
+
+func printTable1() error {
+	rows, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-14s %-14s %s\n", "Data Size", "PF(total)", "Measured", "%Error")
+	fmt.Printf("%-12s %-14s %-14s %s\n", "(bytes)", "(s)", "end-to-end (s)", "")
+	for _, r := range rows {
+		fmt.Printf("%-12.0f %-14.4e %-14.4e %.3f\n", r.DataSize, r.Predicted, r.Measured, r.PercentError)
+	}
+	return nil
+}
+
+func printTable2() error {
+	fmt.Printf("%-8s %s\n", "Octant", "Scheme")
+	for _, r := range experiments.Table2() {
+		fmt.Printf("%-8s %s\n", r.Octant, strings.Join(r.Schemes, ", "))
+	}
+	return nil
+}
+
+func printTable3() error {
+	rows, err := experiments.Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %s\n", "Time-step", "Octant State", "Partitioner")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-14s %s\n", r.TimeStep, r.Octant, r.Partitioner)
+	}
+	return nil
+}
+
+func printTable4(small bool) error {
+	cfg := experiments.DefaultTable4Config()
+	if small {
+		cfg = experiments.SmallTable4Config()
+	}
+	rows, err := experiments.Table4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-18s %s\n", "Partitioner", "Run-time", "Max. Load", "AMR")
+	fmt.Printf("%-12s %-12s %-18s %s\n", "", "(sec)", "Imbalance (%)", "Efficiency (%)")
+	var slowest float64
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12.3f %-18.4f %.4f\n", r.Partitioner, r.Runtime, r.MaxImbalance, r.AMREfficiency)
+		if r.Runtime > slowest {
+			slowest = r.Runtime
+		}
+	}
+	for _, r := range rows {
+		if r.Partitioner == "adaptive" {
+			fmt.Printf("\nadaptive improvement over the slowest partitioner: %.1f%%\n",
+				100*(slowest-r.Runtime)/slowest)
+		}
+	}
+	return nil
+}
+
+func printTable5(small bool) error {
+	cfg := experiments.DefaultTable5Config()
+	if small {
+		cfg = experiments.SmallTable5Config()
+	}
+	rows, err := experiments.Table5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %s\n", "Number of Processors", "Percentage Improvement")
+	for _, r := range rows {
+		fmt.Printf("%-22d %.1f%%   (default %.1fs -> system-sensitive %.1fs)\n",
+			r.Procs, r.Improvement, r.DefaultTime, r.SystemSensitiveTime)
+	}
+	return nil
+}
+
+func printFigure2() error {
+	rows, err := experiments.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %-14s %-12s %s\n", "Octant", "Dynamics", "Dominance", "Pattern", "Visits")
+	for _, r := range rows {
+		dyn, dom, pat := "lower", "computation", "localized"
+		if r.HigherDynamics {
+			dyn = "higher"
+		}
+		if r.CommDominated {
+			dom = "communication"
+		}
+		if r.Scattered {
+			pat = "scattered"
+		}
+		fmt.Printf("%-8s %-10s %-14s %-12s %d\n", r.Octant, dyn, dom, pat, r.Visits)
+	}
+	return nil
+}
+
+func printFigure3() error {
+	profiles, err := experiments.Figure3()
+	if err != nil {
+		return err
+	}
+	for _, p := range profiles {
+		fmt.Println(p)
+	}
+	return nil
+}
+
+func printFigure4() error {
+	res, err := experiments.Figure4()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-14s %-18s %s\n", "Node", "CPU available", "Relative capacity", "Assigned work share")
+	for i := range res.Capacities {
+		fmt.Printf("%-6d %-14.3f %-18.3f %.3f\n", i, res.CPUAvailable[i], res.Capacities[i], res.WorkShares[i])
+	}
+	return nil
+}

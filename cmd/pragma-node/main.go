@@ -1,0 +1,161 @@
+// Command pragma-node emulates a multi-node Pragma control network with
+// real processes: one process serves the Message Center and the application
+// delegated manager; every other process joins as a node running a
+// component agent with a synthetic load sensor and a repartition actuator.
+//
+// Terminal 1 (the broker + ADM):
+//
+//	pragma-node -serve 127.0.0.1:7070
+//
+// Terminals 2..N (one per emulated node):
+//
+//	pragma-node -join 127.0.0.1:7070 -id node-1
+//	pragma-node -join 127.0.0.1:7070 -id node-2 -load 0.9
+//
+// The broker prints consolidated state once per second; agents whose load
+// crosses the overload threshold trigger events, the ADM queries the
+// policy base and broadcasts a repartition command, and each node's
+// actuator prints when it fires.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/pragma-grid/pragma"
+)
+
+func main() {
+	var (
+		serve    = flag.String("serve", "", "serve the Message Center and ADM on this address")
+		join     = flag.String("join", "", "join a served Message Center as a node agent")
+		id       = flag.String("id", "node-0", "agent identity (with -join)")
+		load     = flag.Float64("load", 0.3, "base synthetic load of this node (with -join)")
+		wobble   = flag.Float64("wobble", 0.15, "load oscillation amplitude (with -join)")
+		overload = flag.Float64("overload", 0.8, "load threshold that fires an overload event")
+		interval = flag.Duration("interval", time.Second, "agent poll / ADM report interval")
+		runFor   = flag.Duration("run-for", 0, "exit after this duration (0 = until interrupted)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
+
+	switch {
+	case *serve != "":
+		if err := runBroker(ctx, *serve, *interval); err != nil {
+			fail(err)
+		}
+	case *join != "":
+		if err := runNode(ctx, *join, *id, *load, *wobble, *overload, *interval); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runBroker(ctx context.Context, addr string, interval time.Duration) error {
+	center := pragma.NewMessageCenter()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go center.Serve(ln)
+	fmt.Printf("message center listening on %s\n", ln.Addr())
+
+	adm, err := pragma.NewADM("adm", center, pragma.Table2Policy())
+	if err != nil {
+		return err
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("broker shutting down")
+			return nil
+		case <-ticker.C:
+			adm.Absorb()
+			cons := adm.Consolidate()
+			if cons.Agents == 0 {
+				fmt.Println("no agents yet")
+				continue
+			}
+			fmt.Printf("agents=%d mean-load=%.2f max-load=%.2f (%s)\n",
+				cons.Agents, cons.Mean["load"], cons.Max["load"], cons.ArgMax["load"])
+			events := adm.PendingEvents()
+			for _, ev := range events {
+				fmt.Printf("EVENT %s from %s (%s=%.2f)\n", ev.Name, ev.Agent, ev.Sensor, ev.Value)
+			}
+			if len(events) > 0 {
+				// An overload is a high-dynamics communication-dominated
+				// situation for the running application: query the policy
+				// base and direct everyone to repartition.
+				if act, ok := pragma.Table2Policy().BestAction("select-partitioner",
+					map[string]interface{}{"octant": "VI"}); ok {
+					fmt.Printf("policy: repartition with %s\n", act.Target)
+				}
+				if err := adm.Broadcast(pragma.Command{
+					Actuator: "repartition",
+					Params:   map[string]float64{"granularity": 8},
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "broadcast: %v\n", err)
+				}
+			}
+		}
+	}
+}
+
+func runNode(ctx context.Context, addr, id string, base, wobble, overload float64, interval time.Duration) error {
+	client, err := pragma.DialMessageCenter(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	start := time.Now()
+	sensor := pragma.SensorFunc{SensorName: "load", Fn: func() (float64, error) {
+		t := time.Since(start).Seconds()
+		l := base + wobble*math.Sin(t/7)
+		if l < 0 {
+			l = 0
+		}
+		if l > 0.99 {
+			l = 0.99
+		}
+		return l, nil
+	}}
+	actuator := pragma.ActuatorFunc{ActuatorName: "repartition", Fn: func(p map[string]float64) error {
+		fmt.Printf("[%s] repartitioning with %v\n", id, p)
+		return nil
+	}}
+	agent, err := pragma.NewComponentAgent(id, client,
+		[]pragma.Sensor{sensor},
+		[]pragma.Actuator{actuator},
+		[]pragma.EventRule{{Sensor: "load", Above: &overload, Event: "overload"}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agent %s joined %s (base load %.2f)\n", id, addr, base)
+	agent.Run(ctx, interval)
+	fmt.Printf("agent %s leaving\n", id)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pragma-node:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,210 @@
+// Command rm3d generates the synthetic RM3D (Richtmyer–Meshkov) adaptation
+// trace and replays it on a simulated machine under a chosen partitioning
+// strategy.
+//
+// Usage:
+//
+//	rm3d -procs 64 -partitioner adaptive        # paper-scale replay
+//	rm3d -small -partitioner G-MISP+SP          # quick run
+//	rm3d -profiles 0,25,106,201                 # print Fig. 3 profiles
+//	rm3d -characterize                          # print octant trajectory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/pragma-grid/pragma"
+)
+
+func main() {
+	var (
+		procs        = flag.Int("procs", 64, "number of simulated processors")
+		partitioner  = flag.String("partitioner", "adaptive", "partitioning strategy: adaptive, system-sensitive, or a partitioner name (SFC, G-MISP+SP, pBD-ISP, ...)")
+		small        = flag.Bool("small", false, "use the reduced RM3D configuration")
+		profiles     = flag.String("profiles", "", "comma-separated snapshot indices to render as profiles instead of running")
+		characterize = flag.Bool("characterize", false, "print the octant trajectory instead of running")
+		loaded       = flag.Bool("loaded", false, "run on a synthetically loaded workstation cluster instead of an idle machine")
+		saveTrace    = flag.String("save-trace", "", "write the generated adaptation trace to this file and exit")
+		loadTrace    = flag.String("load-trace", "", "replay a previously saved adaptation trace instead of generating one")
+		stats        = flag.Bool("stats", false, "print per-snapshot trace statistics instead of running")
+		emulate      = flag.Bool("emulate", false, "execute one snapshot as a real message-passing program instead of cost simulation")
+	)
+	flag.Parse()
+
+	cfg := pragma.RM3DPaper()
+	if *small {
+		cfg = pragma.RM3DSmall()
+	}
+	var trace *pragma.Trace
+	if *loadTrace != "" {
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			fail(err)
+		}
+		trace, err = pragma.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded trace %q: %d snapshots\n", *loadTrace, len(trace.Snapshots))
+	} else {
+		fmt.Printf("generating RM3D trace (%dx%dx%d base, %d levels, %d snapshots)...\n",
+			cfg.BaseDims[0], cfg.BaseDims[1], cfg.BaseDims[2], cfg.MaxDepth, cfg.Snapshots())
+		var err error
+		trace, err = pragma.GenerateRM3D(cfg)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fail(err)
+		}
+		if err := pragma.WriteTrace(f, trace); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved trace to %q\n", *saveTrace)
+		return
+	}
+
+	if *stats {
+		fmt.Printf("%-10s %-12s %-7s %-7s %-10s %-12s %s\n",
+			"snapshot", "coarse-step", "depth", "boxes", "cells", "AMR-eff(%)", "change")
+		for _, s := range trace.Stats() {
+			fmt.Printf("%-10d %-12d %-7d %-7d %-10d %-12.2f %.3f\n",
+				s.Index, s.CoarseStep, s.Depth, s.Boxes, s.Cells, s.Efficiency, s.Change)
+		}
+		return
+	}
+
+	if *profiles != "" {
+		for _, part := range strings.Split(*profiles, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fail(fmt.Errorf("bad profile index %q: %w", part, err))
+			}
+			snap, ok := trace.At(idx)
+			if !ok {
+				fail(fmt.Errorf("no snapshot %d (trace has %d)", idx, len(trace.Snapshots)))
+			}
+			fmt.Println(pragma.RenderProfile(snap))
+		}
+		return
+	}
+
+	if *characterize {
+		chars, err := pragma.ClassifyTrace(trace)
+		if err != nil {
+			fail(err)
+		}
+		kb := pragma.Table2Policy()
+		fmt.Printf("%-10s %-8s %-12s %-10s %-10s %s\n",
+			"snapshot", "octant", "partitioner", "dynamics", "comm", "dispersion")
+		for _, c := range chars {
+			act, _ := kb.BestAction("select-partitioner", map[string]interface{}{"octant": c.Octant.String()})
+			fmt.Printf("%-10d %-8s %-12s %-10.3f %-10.3f %.3f\n",
+				c.Index, c.Octant, act.Target, c.State.Dynamics, c.State.CommRatio, c.State.Dispersion)
+		}
+		return
+	}
+
+	if *emulate {
+		if err := runEmulation(trace, *partitioner, *procs); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var strategy pragma.Strategy
+	switch *partitioner {
+	case "adaptive":
+		strategy = pragma.Adaptive()
+	case "system-sensitive":
+		strategy = pragma.SystemSensitive()
+	default:
+		p, err := pragma.PartitionerByName(*partitioner)
+		if err != nil {
+			fail(err)
+		}
+		strategy = pragma.Static(p)
+	}
+
+	var machine *pragma.Cluster
+	if *loaded {
+		machine = pragma.NewLinuxCluster(*procs, 2002)
+	} else {
+		machine = pragma.NewCluster(*procs)
+	}
+	res, err := pragma.Runtime{
+		Trace:     trace,
+		Machine:   machine,
+		Strategy:  strategy,
+		WorkModel: cfg.WorkModel,
+	}.Execute()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nstrategy:            %s\n", res.Strategy)
+	fmt.Printf("simulated run-time:  %.3f s (%d coarse steps)\n", res.TotalTime, res.Steps)
+	fmt.Printf("max load imbalance:  %.2f %%\n", res.MaxImbalance)
+	fmt.Printf("avg load imbalance:  %.2f %%\n", res.AvgImbalance)
+	fmt.Printf("AMR efficiency:      %.2f %%\n", res.AMREfficiency)
+	fmt.Printf("partitioning time:   %.3f s, migration time: %.3f s\n", res.PartitionTime, res.MigrationTime)
+	fmt.Printf("partitioner switches: %d\n", res.Switches)
+}
+
+// runEmulation partitions the mid-trace snapshot and executes it as a real
+// message-passing program through the engine: workers exchange ghost
+// messages per the assignment's adjacency.
+func runEmulation(trace *pragma.Trace, partitioner string, procs int) error {
+	name := partitioner
+	if name == "adaptive" || name == "system-sensitive" {
+		name = "G-MISP+SP"
+	}
+	p, err := pragma.PartitionerByName(name)
+	if err != nil {
+		return err
+	}
+	snap := trace.Snapshots[len(trace.Snapshots)/2]
+	a, err := p.Partition(snap.H, pragma.UniformWork(), procs)
+	if err != nil {
+		return err
+	}
+	center := pragma.NewMessageCenter()
+	ports := make([]pragma.MessagePort, procs)
+	for i := range ports {
+		ports[i] = center
+	}
+	eng, err := pragma.NewEngine(snap.H, a, center, ports)
+	if err != nil {
+		return err
+	}
+	const steps = 8
+	rep, err := eng.Run(steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nemulated snapshot %d with %s on %d workers for %d steps\n",
+		snap.Index, p.Name(), procs, steps)
+	fmt.Printf("ghost messages delivered: %d\n", rep.TotalMessages())
+	fmt.Printf("%-8s %-8s %-14s %-10s %s\n", "worker", "units", "work/step", "msgs sent", "faces sent")
+	for _, w := range rep.Workers {
+		fmt.Printf("%-8d %-8d %-14.0f %-10d %.0f\n",
+			w.Proc, w.Units, w.WorkPerformed/steps, w.MessagesSent, w.FacesSent)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rm3d:", err)
+	os.Exit(1)
+}

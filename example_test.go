@@ -1,0 +1,79 @@
+package pragma_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pragma-grid/pragma"
+)
+
+// Replay a small RM3D adaptation trace under the adaptive meta-partitioner.
+func Example() {
+	trace, err := pragma.GenerateRM3D(pragma.RM3DSmall())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pragma.Runtime{
+		Trace:    trace,
+		Machine:  pragma.NewCluster(8),
+		Strategy: pragma.Adaptive(),
+	}.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Strategy, res.Steps, "steps")
+	// Output: adaptive 164 steps
+}
+
+// Query the paper's Table 2 policy base for a partitioner recommendation.
+func ExampleTable2Policy() {
+	kb := pragma.Table2Policy()
+	act, ok := kb.BestAction("select-partitioner", map[string]interface{}{"octant": "VI"})
+	fmt.Println(ok, act.Target)
+	// Output: true pBD-ISP
+}
+
+// Classify an application state into its octant.
+func ExampleClassifyTrace() {
+	trace, err := pragma.GenerateRM3D(pragma.RM3DSmall())
+	if err != nil {
+		log.Fatal(err)
+	}
+	chars, err := pragma.ClassifyTrace(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(chars[0].Octant.CommDominated(), chars[0].Octant.Valid())
+	// Output: true true
+}
+
+// Partition one hierarchy snapshot and inspect the PAC quality metric.
+func ExamplePartitionerByName() {
+	trace, err := pragma.GenerateRM3D(pragma.RM3DSmall())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := pragma.PartitionerByName("G-MISP+SP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := p.Partition(trace.Snapshots[5].H, pragma.UniformWork(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := pragma.EvaluateQuality(trace.Snapshots[5].H, a, nil, nil)
+	fmt.Println(p.Name(), a.NProcs, q.CommVolume > 0)
+	// Output: G-MISP+SP 8 true
+}
+
+// Fit and compose performance functions for the paper's example system.
+func ExampleFitPerformanceFunctions() {
+	system := pragma.PFExampleSystem(0.02)
+	endToEnd, parts, err := pragma.FitPerformanceFunctions(
+		system, []float64{200, 400, 600, 800, 1000, 1200}, 6, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(parts), endToEnd.Eval(600) > 1e-3)
+	// Output: 3 true
+}

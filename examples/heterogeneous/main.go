@@ -1,0 +1,52 @@
+// Heterogeneous: the system-sensitive adaptation scenario of §4.6 (Fig. 4,
+// Table 5). A workstation cluster carries a skewed synthetic background
+// load; the capacity-weighted partitioner distributes the RM3D workload
+// proportionally to monitored relative capacities and is compared against
+// the default equal-distribution scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pragma-grid/pragma"
+)
+
+func main() {
+	cfg := pragma.RM3DSmall()
+	trace, err := pragma.GenerateRM3D(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("nodes   default(s)   system-sensitive(s)   improvement")
+	for _, n := range []int{4, 8, 16} {
+		// A fresh loaded cluster per size, as in the paper's experiment.
+		machine := pragma.NewLinuxCluster(n, 2002)
+
+		defaultScheme, err := pragma.PartitionerByName("EqualBlock")
+		if err != nil {
+			log.Fatal(err)
+		}
+		runWith := func(s pragma.Strategy) float64 {
+			res, err := pragma.Runtime{
+				Trace:     trace,
+				Machine:   machine,
+				Strategy:  s,
+				WorkModel: cfg.WorkModel,
+			}.Execute()
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.TotalTime
+		}
+		tDefault := runWith(pragma.Static(defaultScheme))
+		tSensitive := runWith(pragma.SystemSensitive())
+		fmt.Printf("%-7d %-12.2f %-21.2f %.1f%%\n",
+			n, tDefault, tSensitive, 100*(tDefault-tSensitive)/tDefault)
+	}
+
+	fmt.Println("\nthe improvement grows with cluster size: with more nodes the equal")
+	fmt.Println("distribution is gated by an ever-heavier most-loaded node, while the")
+	fmt.Println("capacity calculator steers work away from it (Fig. 4).")
+}

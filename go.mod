@@ -1,0 +1,3 @@
+module github.com/pragma-grid/pragma
+
+go 1.22

@@ -1,0 +1,193 @@
+package agents
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/pragma-grid/pragma/internal/policy"
+)
+
+// ADM is the Application Delegated Manager: the MCS assigns it to manage an
+// application attribute (here: performance). It subscribes to agent state
+// and events, consolidates local information hierarchically, queries the
+// policy knowledge base for a decision, and propagates directives back to
+// the component agents — "Local decisions are hierarchically consolidated
+// by the application delegation manager agent" (§4.7).
+type ADM struct {
+	// ID is the manager's mailbox port.
+	ID string
+
+	port   Port
+	inbox  <-chan Message
+	policy *policy.Base
+
+	mu     sync.Mutex
+	states map[string]StateReport
+	events []Event
+}
+
+// NewADM registers the manager's mailbox and subscribes it to agent state
+// and event topics.
+func NewADM(id string, port Port, kb *policy.Base) (*ADM, error) {
+	if id == "" {
+		return nil, fmt.Errorf("agents: ADM without id")
+	}
+	inbox, err := port.Register(id, 256)
+	if err != nil {
+		return nil, err
+	}
+	for _, topic := range []string{TopicState, TopicEvents} {
+		if err := port.Subscribe(id, topic); err != nil {
+			port.Unregister(id)
+			return nil, err
+		}
+	}
+	return &ADM{ID: id, port: port, inbox: inbox, policy: kb, states: make(map[string]StateReport)}, nil
+}
+
+// Absorb drains the mailbox, recording the latest state per agent and any
+// pending events. It returns how many messages were absorbed.
+func (a *ADM) Absorb() int {
+	n := 0
+	for {
+		select {
+		case m, ok := <-a.inbox:
+			if !ok {
+				return n
+			}
+			n++
+			switch m.Kind {
+			case "state":
+				var r StateReport
+				if Decode(m, &r) == nil {
+					a.mu.Lock()
+					a.states[r.Agent] = r
+					a.mu.Unlock()
+				}
+			case "event":
+				var ev Event
+				if Decode(m, &ev) == nil {
+					a.mu.Lock()
+					a.events = append(a.events, ev)
+					a.mu.Unlock()
+				}
+			}
+		default:
+			return n
+		}
+	}
+}
+
+// Consolidated is the hierarchical consolidation of the latest agent
+// states: per-attribute mean, max and the agent holding the max.
+type Consolidated struct {
+	Agents int
+	Mean   map[string]float64
+	Max    map[string]float64
+	ArgMax map[string]string
+}
+
+// Consolidate aggregates the latest state reports.
+func (a *ADM) Consolidate() Consolidated {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := Consolidated{
+		Agents: len(a.states),
+		Mean:   map[string]float64{},
+		Max:    map[string]float64{},
+		ArgMax: map[string]string{},
+	}
+	counts := map[string]int{}
+	// Iterate agents in sorted order so ArgMax ties break deterministically.
+	ids := make([]string, 0, len(a.states))
+	for id := range a.states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for attr, v := range a.states[id].Readings {
+			c.Mean[attr] += v
+			counts[attr]++
+			if cur, ok := c.Max[attr]; !ok || v > cur {
+				c.Max[attr] = v
+				c.ArgMax[attr] = id
+			}
+		}
+	}
+	for attr, n := range counts {
+		c.Mean[attr] /= float64(n)
+	}
+	return c
+}
+
+// PendingEvents returns and clears the absorbed events.
+func (a *ADM) PendingEvents() []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	evs := a.events
+	a.events = nil
+	return evs
+}
+
+// Decision is one directive the ADM issues.
+type Decision struct {
+	// Agent is the directive's destination; empty means broadcast to every
+	// known agent.
+	Agent  string
+	Action policy.Action
+}
+
+// Decide queries the policy base with the consolidated state plus the
+// caller-provided attributes (e.g. the current octant) and turns matching
+// actions of the given kinds into decisions. Final policy decisions are
+// then propagated with Direct.
+func (a *ADM) Decide(extra map[string]interface{}, kinds ...string) []Decision {
+	if a.policy == nil {
+		return nil
+	}
+	attrs := map[string]interface{}{}
+	cons := a.Consolidate()
+	for attr, v := range cons.Mean {
+		attrs["mean-"+attr] = v
+	}
+	for attr, v := range cons.Max {
+		attrs["max-"+attr] = v
+	}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	var out []Decision
+	for _, kind := range kinds {
+		if act, ok := a.policy.BestAction(kind, attrs); ok {
+			out = append(out, Decision{Action: act})
+		}
+	}
+	return out
+}
+
+// Direct sends a command to one agent's mailbox ("the only requirement is
+// that the ADM recommendations be complied with").
+func (a *ADM) Direct(agent string, cmd Command) error {
+	return a.port.Send(Message{
+		From: a.ID, To: agent, Kind: "command", Payload: Encode(cmd),
+	})
+}
+
+// Broadcast sends a command to every agent the ADM has heard from.
+func (a *ADM) Broadcast(cmd Command) error {
+	a.mu.Lock()
+	ids := make([]string, 0, len(a.states))
+	for id := range a.states {
+		ids = append(ids, id)
+	}
+	a.mu.Unlock()
+	sort.Strings(ids)
+	var firstErr error
+	for _, id := range ids {
+		if err := a.Direct(id, cmd); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,90 @@
+package agents
+
+import (
+	"fmt"
+
+	"github.com/pragma-grid/pragma/internal/policy"
+)
+
+// Hierarchical consolidation. §4.7: "Local decisions are hierarchically
+// consolidated by the application delegation manager agent." On large
+// machines one manager cannot absorb every node's reports; an ADM tree
+// consolidates in groups: node agents publish to their group's topic, group
+// managers consolidate and republish a group summary upward, and the root
+// sees one report per group instead of one per node.
+
+// GroupADM is a mid-tier manager: it consolidates the state reports of its
+// group's agents and publishes the summary as a single state report on the
+// parent topic.
+type GroupADM struct {
+	// ID is the manager's mailbox port.
+	ID string
+
+	inner  *ADM
+	port   Port
+	parent string // topic the summary is published on
+	seq    int
+}
+
+// GroupStateTopic returns the topic group members publish their state on.
+func GroupStateTopic(group string) string { return "group-state/" + group }
+
+// NewGroupADM registers a group manager subscribed to its group topic,
+// republishing consolidated summaries on parentTopic.
+func NewGroupADM(id, group, parentTopic string, port Port) (*GroupADM, error) {
+	if group == "" || parentTopic == "" {
+		return nil, fmt.Errorf("agents: group ADM needs group and parent topic")
+	}
+	inbox, err := port.Register(id, 256)
+	if err != nil {
+		return nil, err
+	}
+	if err := port.Subscribe(id, GroupStateTopic(group)); err != nil {
+		port.Unregister(id)
+		return nil, err
+	}
+	g := &GroupADM{
+		ID:     id,
+		inner:  &ADM{ID: id, port: port, inbox: inbox, states: make(map[string]StateReport)},
+		port:   port,
+		parent: parentTopic,
+	}
+	return g, nil
+}
+
+// Absorb drains the group mailbox into the consolidation state.
+func (g *GroupADM) Absorb() int { return g.inner.Absorb() }
+
+// Consolidate aggregates the group's latest reports.
+func (g *GroupADM) Consolidate() Consolidated { return g.inner.Consolidate() }
+
+// PublishSummary consolidates and publishes the group summary upward as a
+// state report carrying the group's mean readings (plus the group's
+// member count under "members"). Returns the summary published.
+func (g *GroupADM) PublishSummary() (StateReport, error) {
+	cons := g.inner.Consolidate()
+	readings := map[string]float64{"members": float64(cons.Agents)}
+	for attr, v := range cons.Mean {
+		readings[attr] = v
+	}
+	g.seq++
+	report := StateReport{Agent: g.ID, Seq: g.seq, Readings: readings}
+	err := g.port.Publish(Message{
+		From: g.ID, Topic: g.parent, Kind: "state", Payload: Encode(report),
+	})
+	return report, err
+}
+
+// NewRootADM registers a root manager that consumes group summaries from
+// the given topic (in addition to the flat agent topics).
+func NewRootADM(id, summaryTopic string, port Port, kb *policy.Base) (*ADM, error) {
+	adm, err := NewADM(id, port, kb)
+	if err != nil {
+		return nil, err
+	}
+	if err := port.Subscribe(id, summaryTopic); err != nil {
+		port.Unregister(id)
+		return nil, err
+	}
+	return adm, nil
+}

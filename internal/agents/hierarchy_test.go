@@ -1,0 +1,122 @@
+package agents
+
+import (
+	"testing"
+)
+
+// TestHierarchicalConsolidation builds a two-level ADM tree: 2 groups of 3
+// node agents each, two group managers, one root. The root must see two
+// summaries (not six node reports) whose means match the groups.
+func TestHierarchicalConsolidation(t *testing.T) {
+	c := NewCenter()
+	const summaryTopic = "group-summaries"
+	root, err := NewRootADM("root", summaryTopic, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups := map[string][]float64{
+		"rack-a": {0.2, 0.4, 0.6},
+		"rack-b": {0.8, 0.9, 1.0},
+	}
+	managers := map[string]*GroupADM{}
+	for group, loads := range groups {
+		gm, err := NewGroupADM("adm-"+group, group, summaryTopic, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		managers[group] = gm
+		for i, load := range loads {
+			load := load
+			ca, err := NewComponentAgent(
+				groupAgentID(group, i), c,
+				[]Sensor{SensorFunc{SensorName: "load", Fn: func() (float64, error) { return load, nil }}},
+				nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ca.StateTopic = GroupStateTopic(group)
+			if _, err := ca.Poll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Group managers consolidate their racks and publish summaries.
+	for group, gm := range managers {
+		if n := gm.Absorb(); n != 3 {
+			t.Fatalf("group %s absorbed %d reports", group, n)
+		}
+		cons := gm.Consolidate()
+		if cons.Agents != 3 {
+			t.Fatalf("group %s sees %d agents", group, cons.Agents)
+		}
+		if _, err := gm.PublishSummary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Root sees exactly the two group summaries.
+	if n := root.Absorb(); n != 2 {
+		t.Fatalf("root absorbed %d messages, want 2 summaries", n)
+	}
+	cons := root.Consolidate()
+	if cons.Agents != 2 {
+		t.Fatalf("root sees %d reporters, want 2 group managers", cons.Agents)
+	}
+	// rack-a mean 0.4, rack-b mean 0.9 -> root mean of means 0.65.
+	if m := cons.Mean["load"]; m < 0.649 || m > 0.651 {
+		t.Fatalf("root mean load = %g, want 0.65", m)
+	}
+	if cons.Max["load"] < 0.899 || cons.ArgMax["load"] != "adm-rack-b" {
+		t.Fatalf("root max = %g from %s", cons.Max["load"], cons.ArgMax["load"])
+	}
+	// Member counts propagate.
+	if cons.Mean["members"] != 3 {
+		t.Fatalf("mean members = %g", cons.Mean["members"])
+	}
+}
+
+func groupAgentID(group string, i int) string {
+	return group + "-node-" + string(rune('0'+i))
+}
+
+func TestGroupADMValidation(t *testing.T) {
+	c := NewCenter()
+	if _, err := NewGroupADM("x", "", "up", c); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewGroupADM("x", "g", "", c); err == nil {
+		t.Error("empty parent topic accepted")
+	}
+	if _, err := NewGroupADM("dup", "g", "up", c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGroupADM("dup", "g", "up", c); err == nil {
+		t.Error("duplicate group ADM accepted")
+	}
+}
+
+func TestGroupIsolation(t *testing.T) {
+	// A group manager must not see another group's reports.
+	c := NewCenter()
+	gmA, err := NewGroupADM("adm-a", "a", "up", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGroupADM("adm-b", "b", "up", c); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := NewComponentAgent("b-node", c,
+		[]Sensor{fixedSensor("load", 0.5)}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.StateTopic = GroupStateTopic("b")
+	if _, err := ca.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := gmA.Absorb(); n != 0 {
+		t.Fatalf("group a absorbed %d foreign reports", n)
+	}
+}

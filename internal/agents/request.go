@@ -1,0 +1,80 @@
+package agents
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Request/reply over the Message Center. CATALINA's modules converse
+// through mailboxes; this helper implements the correlated request/reply
+// conversation pattern (used, for example, by template discovery) on top
+// of raw sends: the requester stamps a correlation id, the responder
+// echoes it, unrelated messages arriving on the same mailbox are ignored.
+
+// correlated wraps a payload with a correlation id.
+type correlated struct {
+	ID      string          `json:"id"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Request sends `kind` to the destination port and waits on the inbox for
+// a message of kind `kind + "-reply"` carrying the same correlation id.
+// Messages of other kinds or ids received while waiting are dropped.
+func Request(port Port, from string, inbox <-chan Message, to, kind string, payload interface{}, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	id := fmt.Sprintf("%s-%d", from, time.Now().UnixNano())
+	err := port.Send(Message{
+		From: from, To: to, Kind: kind,
+		Payload: Encode(correlated{ID: id, Payload: Encode(payload)}),
+	})
+	if err != nil {
+		return Message{}, err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m, ok := <-inbox:
+			if !ok {
+				return Message{}, fmt.Errorf("agents: mailbox closed awaiting %s-reply", kind)
+			}
+			if m.Kind != kind+"-reply" {
+				continue
+			}
+			var c correlated
+			if Decode(m, &c) != nil || c.ID != id {
+				continue
+			}
+			m.Payload = c.Payload
+			return m, nil
+		case <-deadline.C:
+			return Message{}, fmt.Errorf("agents: timeout awaiting %s-reply from %s", kind, to)
+		}
+	}
+}
+
+// Respond answers a correlated request received as message m: it decodes
+// the request payload into req, invokes the handler, and sends the reply
+// back to the requester with the same correlation id.
+func Respond(port Port, self string, m Message, req interface{}, handler func() (interface{}, error)) error {
+	var c correlated
+	if err := Decode(m, &c); err != nil {
+		return fmt.Errorf("agents: malformed request: %w", err)
+	}
+	if req != nil && len(c.Payload) > 0 {
+		if err := json.Unmarshal(c.Payload, req); err != nil {
+			return fmt.Errorf("agents: malformed request payload: %w", err)
+		}
+	}
+	result, err := handler()
+	if err != nil {
+		return err
+	}
+	return port.Send(Message{
+		From: self, To: m.From, Kind: m.Kind + "-reply",
+		Payload: Encode(correlated{ID: c.ID, Payload: Encode(result)}),
+	})
+}

@@ -1,0 +1,96 @@
+package agents
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRequestReply(t *testing.T) {
+	c := NewCenter()
+	serverIn, err := c.Register("server", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientIn, err := c.Register("client", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server: doubles the requested number.
+	go func() {
+		for m := range serverIn {
+			if m.Kind != "double" {
+				continue
+			}
+			var n int
+			if err := Respond(c, "server", m, &n, func() (interface{}, error) {
+				return n * 2, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	reply, err := Request(c, "client", clientIn, "server", "double", 21, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := Decode(reply, &got); err != nil || got != 42 {
+		t.Fatalf("reply = %d err %v", got, err)
+	}
+}
+
+func TestRequestIgnoresUnrelatedTraffic(t *testing.T) {
+	c := NewCenter()
+	serverIn, _ := c.Register("server", 16)
+	clientIn, _ := c.Register("client", 16)
+	go func() {
+		for m := range serverIn {
+			// Send noise first, then the real reply.
+			c.Send(Message{From: "server", To: "client", Kind: "noise"})
+			c.Send(Message{From: "server", To: "client", Kind: "ping-reply",
+				Payload: Encode(correlated{ID: "wrong-id"})})
+			Respond(c, "server", m, nil, func() (interface{}, error) { return "ok", nil })
+		}
+	}()
+	reply, err := Request(c, "client", clientIn, "server", "ping", nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := Decode(reply, &got); err != nil || got != "ok" {
+		t.Fatalf("reply = %q err %v", got, err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	c := NewCenter()
+	if _, err := c.Register("silent", 4); err != nil {
+		t.Fatal(err)
+	}
+	clientIn, _ := c.Register("client", 4)
+	if _, err := Request(c, "client", clientIn, "silent", "ping", nil, 20*time.Millisecond); err == nil {
+		t.Fatal("timeout did not fire")
+	}
+}
+
+func TestRequestToUnknownPort(t *testing.T) {
+	c := NewCenter()
+	clientIn, _ := c.Register("client", 4)
+	if _, err := Request(c, "client", clientIn, "nowhere", "ping", nil, time.Second); err == nil {
+		t.Fatal("send to unknown port succeeded")
+	}
+}
+
+func TestRespondMalformed(t *testing.T) {
+	c := NewCenter()
+	if err := Respond(c, "s", Message{Payload: []byte("{")}, nil, func() (interface{}, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("malformed request accepted")
+	}
+	var n int
+	bad := Message{From: "x", Kind: "k", Payload: Encode(correlated{ID: "1", Payload: []byte(`"str"`)})}
+	if err := Respond(c, "s", bad, &n, func() (interface{}, error) { return nil, nil }); err == nil {
+		t.Fatal("mistyped payload accepted")
+	}
+}

@@ -1,0 +1,281 @@
+package agents
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// This file adds the distributed deployment of the Message Center: agents
+// on other "nodes" (processes, or goroutines emulating them) connect over
+// TCP, register their ports with the central broker, and exchange messages
+// with local agents transparently. This is the multi-node emulation of the
+// paper's agent network: "CATALINA agents resident at each computing
+// element in the distributed environment".
+
+// frame is the wire protocol unit: one JSON object per line.
+type frame struct {
+	// Op is "register", "unregister", "subscribe", "send", "publish",
+	// "deliver" (server to client), or "error".
+	Op    string  `json:"op"`
+	Port  string  `json:"port,omitempty"`
+	Topic string  `json:"topic,omitempty"`
+	Msg   Message `json:"msg,omitempty"`
+	Err   string  `json:"err,omitempty"`
+}
+
+// wireConn is the server-side state of one TCP client.
+type wireConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	wmu  sync.Mutex
+}
+
+func (w *wireConn) deliver(m Message) error {
+	return w.write(frame{Op: "deliver", Msg: m})
+}
+
+func (w *wireConn) write(f frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.enc.Encode(f)
+}
+
+// Serve accepts TCP clients on the listener and routes their traffic
+// through the center until the listener is closed. Call it in a goroutine:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	go center.Serve(ln)
+func (c *Center) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go c.handle(conn)
+	}
+}
+
+func (c *Center) handle(conn net.Conn) {
+	wc := &wireConn{conn: conn, enc: json.NewEncoder(conn)}
+	owned := make(map[string]bool)
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		for port := range owned {
+			delete(c.remote, port)
+			for _, subscribers := range c.subs {
+				delete(subscribers, port)
+			}
+		}
+		c.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		switch f.Op {
+		case "register":
+			err := c.registerRemote(f.Port, wc)
+			if err == nil {
+				owned[f.Port] = true
+			}
+			wc.write(frame{Op: "register", Port: f.Port, Err: errString(err)})
+		case "unregister":
+			c.mu.Lock()
+			if owned[f.Port] {
+				delete(c.remote, f.Port)
+				delete(owned, f.Port)
+				for _, subscribers := range c.subs {
+					delete(subscribers, f.Port)
+				}
+			}
+			c.mu.Unlock()
+		case "subscribe":
+			err := c.Subscribe(f.Port, f.Topic)
+			wc.write(frame{Op: "subscribe", Port: f.Port, Topic: f.Topic, Err: errString(err)})
+		case "send":
+			if err := c.Send(f.Msg); err != nil {
+				wc.write(frame{Op: "error", Err: err.Error()})
+			}
+		case "publish":
+			if err := c.Publish(f.Msg); err != nil {
+				wc.write(frame{Op: "error", Err: err.Error()})
+			}
+		}
+	}
+}
+
+func (c *Center) registerRemote(port string, wc *wireConn) error {
+	if port == "" {
+		return fmt.Errorf("agents: empty port name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.local[port]; ok {
+		return fmt.Errorf("agents: port %q already registered", port)
+	}
+	if _, ok := c.remote[port]; ok {
+		return fmt.Errorf("agents: port %q already registered remotely", port)
+	}
+	c.remote[port] = wc
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Client is a TCP connection to a remote Message Center implementing Port.
+// It is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	wmu  sync.Mutex
+
+	mu     sync.Mutex
+	boxes  map[string]chan Message
+	acks   chan frame
+	closed bool
+}
+
+// Dial connects to a Message Center served at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		conn:  conn,
+		enc:   json.NewEncoder(conn),
+		boxes: make(map[string]chan Message),
+		acks:  make(chan frame, 16),
+	}
+	go cl.readLoop()
+	return cl, nil
+}
+
+func (cl *Client) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(cl.conn))
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			cl.mu.Lock()
+			cl.closed = true
+			for _, ch := range cl.boxes {
+				close(ch)
+			}
+			cl.boxes = make(map[string]chan Message)
+			cl.mu.Unlock()
+			return
+		}
+		switch f.Op {
+		case "deliver":
+			cl.mu.Lock()
+			ch, ok := cl.boxes[f.Msg.To]
+			cl.mu.Unlock()
+			if ok {
+				select {
+				case ch <- f.Msg:
+				default: // drop on overflow, like a full mailbox
+				}
+			}
+		case "register", "subscribe":
+			select {
+			case cl.acks <- f:
+			default:
+			}
+		case "error":
+			// Asynchronous send errors have nowhere to land; drop them.
+			// Callers needing confirmation use request/reply on top.
+		}
+	}
+}
+
+func (cl *Client) writeFrame(f frame) error {
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+	return cl.enc.Encode(f)
+}
+
+func (cl *Client) await(op string) error {
+	for f := range cl.acks {
+		if f.Op == op {
+			if f.Err != "" {
+				return fmt.Errorf("agents: %s", f.Err)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("agents: connection closed")
+}
+
+// Register implements Port.
+func (cl *Client) Register(port string, buffer int) (<-chan Message, error) {
+	if buffer < 1 {
+		buffer = 16
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("agents: client closed")
+	}
+	if _, ok := cl.boxes[port]; ok {
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("agents: port %q already registered on this client", port)
+	}
+	ch := make(chan Message, buffer)
+	cl.boxes[port] = ch
+	cl.mu.Unlock()
+	if err := cl.writeFrame(frame{Op: "register", Port: port}); err != nil {
+		return nil, err
+	}
+	if err := cl.await("register"); err != nil {
+		cl.mu.Lock()
+		delete(cl.boxes, port)
+		cl.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Unregister implements Port.
+func (cl *Client) Unregister(port string) {
+	cl.mu.Lock()
+	if ch, ok := cl.boxes[port]; ok {
+		delete(cl.boxes, port)
+		close(ch)
+	}
+	cl.mu.Unlock()
+	cl.writeFrame(frame{Op: "unregister", Port: port})
+}
+
+// Send implements Port.
+func (cl *Client) Send(m Message) error {
+	return cl.writeFrame(frame{Op: "send", Msg: m})
+}
+
+// Subscribe implements Port.
+func (cl *Client) Subscribe(port, topic string) error {
+	if err := cl.writeFrame(frame{Op: "subscribe", Port: port, Topic: topic}); err != nil {
+		return err
+	}
+	return cl.await("subscribe")
+}
+
+// Publish implements Port.
+func (cl *Client) Publish(m Message) error {
+	return cl.writeFrame(frame{Op: "publish", Msg: m})
+}
+
+// Close tears down the connection; mailboxes are closed by the read loop.
+func (cl *Client) Close() error { return cl.conn.Close() }
+
+var _ Port = (*Client)(nil)

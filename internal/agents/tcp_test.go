@@ -1,0 +1,274 @@
+package agents
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/policy"
+)
+
+// startCenter serves a Message Center on a loopback listener.
+func startCenter(t *testing.T) (*Center, string) {
+	t.Helper()
+	c := NewCenter()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Serve(ln)
+	t.Cleanup(func() { ln.Close() })
+	return c, ln.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func recvT(t *testing.T, ch <-chan Message) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("mailbox closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for message")
+	}
+	return Message{}
+}
+
+func TestTCPRemoteToLocal(t *testing.T) {
+	center, addr := startCenter(t)
+	local, err := center.Register("local", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dialT(t, addr)
+	if _, err := cl.Register("remote", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Send(Message{From: "remote", To: "local", Kind: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvT(t, local)
+	if m.Kind != "hello" || m.From != "remote" {
+		t.Fatalf("received %+v", m)
+	}
+}
+
+func TestTCPLocalToRemote(t *testing.T) {
+	center, addr := startCenter(t)
+	cl := dialT(t, addr)
+	remote, err := cl.Register("remote", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := center.Send(Message{From: "srv", To: "remote", Kind: "task"}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvT(t, remote)
+	if m.Kind != "task" {
+		t.Fatalf("received %+v", m)
+	}
+}
+
+func TestTCPRemoteToRemote(t *testing.T) {
+	_, addr := startCenter(t)
+	c1 := dialT(t, addr)
+	c2 := dialT(t, addr)
+	if _, err := c1.Register("n1", 8); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := c2.Register("n2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(Message{From: "n1", To: "n2", Kind: "x", Payload: Encode(42)}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvT(t, in2)
+	var v int
+	if err := Decode(m, &v); err != nil || v != 42 {
+		t.Fatalf("payload %v err %v", v, err)
+	}
+}
+
+func TestTCPPubSubAcrossNodes(t *testing.T) {
+	center, addr := startCenter(t)
+	cl := dialT(t, addr)
+	remoteIn, err := cl.Register("rsub", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Subscribe("rsub", "events"); err != nil {
+		t.Fatal(err)
+	}
+	localIn, err := center.Register("lsub", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := center.Subscribe("lsub", "events"); err != nil {
+		t.Fatal(err)
+	}
+	// Publish from the remote side; both local and remote subscribers get it.
+	if err := cl.Publish(Message{From: "rsub2", Topic: "events", Kind: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvT(t, remoteIn); m.Kind != "boom" {
+		t.Fatalf("remote got %+v", m)
+	}
+	if m := recvT(t, localIn); m.Kind != "boom" {
+		t.Fatalf("local got %+v", m)
+	}
+}
+
+func TestTCPDuplicateRegistrationRejected(t *testing.T) {
+	center, addr := startCenter(t)
+	if _, err := center.Register("dup", 4); err != nil {
+		t.Fatal(err)
+	}
+	cl := dialT(t, addr)
+	if _, err := cl.Register("dup", 4); err == nil {
+		t.Fatal("remote registration over existing local port accepted")
+	}
+	// A different port still works on the same connection.
+	if _, err := cl.Register("dup2", 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDisconnectCleansUp(t *testing.T) {
+	center, addr := startCenter(t)
+	cl := dialT(t, addr)
+	if _, err := cl.Register("ghost", 4); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	// After the disconnect the port eventually disappears from the broker.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := center.Send(Message{From: "x", To: "ghost", Kind: "y"}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ghost port still routable after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTCPUnregister(t *testing.T) {
+	center, addr := startCenter(t)
+	cl := dialT(t, addr)
+	in, err := cl.Register("p", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Unregister("p")
+	if _, ok := <-in; ok {
+		t.Fatal("mailbox not closed on unregister")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := center.Send(Message{From: "x", To: "p", Kind: "y"}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("port still routable after unregister")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDistributedControlNetwork is the multi-node emulation scenario of
+// §4.7: component agents on two "nodes" (TCP clients) publish state to the
+// message center; the ADM (local to the broker) consolidates, queries the
+// policy base, and directs the remote agents, whose actuators fire.
+func TestDistributedControlNetwork(t *testing.T) {
+	center, addr := startCenter(t)
+	adm, err := NewADM("adm", center, policy.Table2())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type node struct {
+		client *Client
+		agent  *ComponentAgent
+		fired  chan Command
+	}
+	mkNode := func(id string, load float64) *node {
+		cl := dialT(t, addr)
+		fired := make(chan Command, 4)
+		ca, err := NewComponentAgent(id, cl,
+			[]Sensor{fixedSensor("load", load)},
+			[]Actuator{ActuatorFunc{ActuatorName: "repartition", Fn: func(p map[string]float64) error {
+				fired <- Command{Actuator: "repartition", Params: p}
+				return nil
+			}}},
+			nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &node{client: cl, agent: ca, fired: fired}
+	}
+	n1 := mkNode("node-1", 0.3)
+	n2 := mkNode("node-2", 0.85)
+
+	for _, n := range []*node{n1, n2} {
+		if _, err := n.agent.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// State flows over TCP to the broker-side ADM.
+	deadline := time.Now().Add(5 * time.Second)
+	for adm.Absorb(); ; {
+		if adm.Consolidate().Agents == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ADM saw %d agents", adm.Consolidate().Agents)
+		}
+		time.Sleep(time.Millisecond)
+		adm.Absorb()
+	}
+	cons := adm.Consolidate()
+	if cons.ArgMax["load"] != "node-2" {
+		t.Fatalf("argmax = %v", cons.ArgMax)
+	}
+	// Policy decision and directive propagation.
+	dec := adm.Decide(map[string]interface{}{"octant": "V"}, "select-partitioner")
+	if len(dec) != 1 || dec[0].Action.Target != "pBD-ISP" {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if err := adm.Broadcast(Command{Actuator: "repartition", Params: map[string]float64{"procs": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*node{n1, n2} {
+		// Commands arrive over TCP; drain until the actuator fires.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n.agent.DrainInbox()
+			select {
+			case cmd := <-n.fired:
+				if cmd.Params["procs"] != 2 {
+					t.Fatalf("actuated %+v", cmd)
+				}
+			default:
+				if time.Now().After(deadline) {
+					t.Fatalf("%s actuator never fired", n.agent.ID)
+				}
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+// Failure injection. The paper's active control network exists to keep
+// applications running on environments where "the availability and
+// 'health' of computing elements on the grid" changes — including outright
+// node loss ("respond to system failures", §1). The simulator models
+// fail-stop failures: a failed node computes nothing from its failure time
+// onward, and the management layer must detect it and redistribute.
+
+// Failure is a permanent fail-stop event.
+type Failure struct {
+	// Node is the failing node's index.
+	Node int
+	// At is the simulation time of the failure.
+	At float64
+}
+
+// Fail schedules a fail-stop failure.
+func (c *Cluster) Fail(node int, at float64) {
+	c.Failures = append(c.Failures, Failure{Node: node, At: at})
+}
+
+// Alive reports whether node i is operational at time t.
+func (c *Cluster) Alive(i int, t float64) bool {
+	if i < 0 || i >= len(c.Nodes) {
+		return false
+	}
+	for _, f := range c.Failures {
+		if f.Node == i && t >= f.At {
+			return false
+		}
+	}
+	return true
+}
+
+// AliveNodes returns the indices of operational nodes at time t, in order.
+func (c *Cluster) AliveNodes(t float64) []int {
+	out := make([]int, 0, len(c.Nodes))
+	for i := range c.Nodes {
+		if c.Alive(i, t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pragma-grid/pragma/internal/agents"
+	"github.com/pragma-grid/pragma/internal/monitor"
+	"github.com/pragma-grid/pragma/internal/octant"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// AgentManaged is the automated adaptation loop of §4.7: instead of
+// unconditionally repartitioning at every regrid, component agents resident
+// at each simulated node monitor local state and publish it to the Message
+// Center; the application delegated manager consolidates the reports,
+// watches for threshold events (load imbalance, octant change), queries the
+// policy base, and only then directs a repartitioning. Between events the
+// previous assignment is reprojected onto the new hierarchy, avoiding
+// repartitioning and migration overheads.
+//
+// The strategy owns a live control network: construct it with
+// NewAgentManaged and use it for a single Run (it accumulates state).
+type AgentManaged struct {
+	meta    *MetaPartitioner
+	center  *agents.Center
+	adm     *agents.ADM
+	nodes   []*agents.ComponentAgent
+	loadRef []float64
+
+	// ImbalanceEvent is the per-node relative-load threshold that triggers
+	// repartitioning (fired by node agents).
+	ImbalanceEvent float64
+
+	prevOctant octant.Octant
+	current    *partition.Assignment
+	// Repartitions counts how many regrids actually repartitioned.
+	Repartitions int
+}
+
+// NewAgentManaged wires the control network for nprocs simulated nodes.
+func NewAgentManaged(nprocs int, imbalanceEventPct float64) (*AgentManaged, error) {
+	if nprocs < 1 {
+		return nil, fmt.Errorf("core: agent-managed needs at least one node")
+	}
+	if imbalanceEventPct <= 0 {
+		imbalanceEventPct = 25
+	}
+	am := &AgentManaged{
+		meta:           NewMetaPartitioner(),
+		center:         agents.NewCenter(),
+		loadRef:        make([]float64, nprocs),
+		ImbalanceEvent: imbalanceEventPct,
+	}
+	adm, err := agents.NewADM("adm", am.center, am.meta.Policy)
+	if err != nil {
+		return nil, err
+	}
+	am.adm = adm
+	threshold := 1 + imbalanceEventPct/100
+	for i := 0; i < nprocs; i++ {
+		i := i
+		sensor := agents.SensorFunc{
+			SensorName: "relative-load",
+			Fn:         func() (float64, error) { return am.loadRef[i], nil },
+		}
+		rule := agents.EventRule{
+			Sensor: "relative-load",
+			Above:  &threshold,
+			Event:  "load-imbalance",
+		}
+		ca, err := agents.NewComponentAgent(fmt.Sprintf("node-%d", i), am.center,
+			[]agents.Sensor{sensor}, nil, []agents.EventRule{rule})
+		if err != nil {
+			return nil, err
+		}
+		am.nodes = append(am.nodes, ca)
+	}
+	return am, nil
+}
+
+// Name implements Strategy.
+func (am *AgentManaged) Name() string { return "agent-managed" }
+
+// Assign implements Strategy: agents sense the previous interval's load
+// distribution, the ADM consolidates and decides whether adaptation is
+// needed, and either a fresh partitioning is produced (per the policy
+// base's octant recommendation) or the previous one is reprojected.
+func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string, error) {
+	state, err := octant.StateAt(ctx.Trace, ctx.Index, am.meta.Window)
+	if err != nil {
+		return nil, "", err
+	}
+	oct := octant.Classify(state, am.meta.Thresholds)
+
+	// Publish per-node relative loads from the outgoing assignment, let
+	// the agents poll, and consolidate at the ADM.
+	needRepartition := am.current == nil || oct != am.prevOctant
+	if am.current != nil {
+		work := am.current.Work()
+		var total float64
+		for _, w := range work {
+			total += w
+		}
+		mean := total / float64(len(work))
+		for i := range am.loadRef {
+			if mean > 0 && i < len(work) {
+				am.loadRef[i] = work[i] / mean
+			} else {
+				am.loadRef[i] = 0
+			}
+		}
+		for _, ca := range am.nodes {
+			if _, err := ca.Poll(); err != nil {
+				return nil, "", err
+			}
+		}
+		am.adm.Absorb()
+		if len(am.adm.PendingEvents()) > 0 {
+			needRepartition = true
+		}
+	}
+
+	if !needRepartition {
+		// Reproject the standing assignment onto the new hierarchy: keep
+		// each new unit on the processor owning its region before.
+		if reused, ok := reproject(am.current, ctx.Snap.H, ctx.WM); ok {
+			am.current = reused
+			return reused, "reprojected", nil
+		}
+		needRepartition = true
+	}
+
+	p, err := am.meta.SelectForOctant(oct)
+	if err != nil {
+		return nil, "", err
+	}
+	a, err := p.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
+	if err != nil {
+		return nil, "", err
+	}
+	am.current = a
+	am.prevOctant = oct
+	am.Repartitions++
+	return a, p.Name(), nil
+}
+
+// reproject maps a previous assignment onto a new hierarchy: each box of
+// the new hierarchy is assigned to the processor that owned the largest
+// share of its region before. Returns false when the previous assignment
+// cannot cover the new hierarchy (e.g. a level appeared).
+func reproject(prev *partition.Assignment, h *samr.Hierarchy, wm samr.WorkModel) (*partition.Assignment, bool) {
+	byLevel := map[int][]int{}
+	for i, u := range prev.Units {
+		byLevel[u.Level] = append(byLevel[u.Level], i)
+	}
+	out := &partition.Assignment{NProcs: prev.NProcs, SplitCost: 1}
+	for l, boxes := range h.Levels {
+		ids := byLevel[l]
+		if len(ids) == 0 {
+			return nil, false
+		}
+		for _, b := range boxes {
+			overlap := make(map[int]int64)
+			var covered int64
+			for _, i := range ids {
+				if inter, ok := prev.Units[i].Box.Intersect(b); ok {
+					overlap[prev.Owner[i]] += inter.Volume()
+					covered += inter.Volume()
+				}
+			}
+			if covered == 0 {
+				return nil, false
+			}
+			best, bestVol := 0, int64(-1)
+			for p, v := range overlap {
+				if v > bestVol || (v == bestVol && p < best) {
+					best, bestVol = p, v
+				}
+			}
+			out.Units = append(out.Units, partition.Unit{Level: l, Box: b, Weight: wm.BoxWork(h, l, b)})
+			out.Owner = append(out.Owner, best)
+		}
+	}
+	return out, true
+}
+
+var _ Strategy = (*AgentManaged)(nil)
+
+// Proactive extends the system-sensitive strategy with Pragma's predictive
+// capability: instead of partitioning on the *current* resource state, it
+// accumulates a monitoring history and partitions on the NWS
+// meta-forecaster's *predicted* next state — "proactive application
+// management by predicting system behavior" (§3.1). The paper's Table 5
+// experiment explicitly did not use prediction; this strategy implements
+// the extension the paper proposes, benchmarked in the ablations.
+type Proactive struct {
+	// P is the capacity-weighted partitioner (nil = partition.Heterogeneous).
+	P partition.CapacityPartitioner
+	// Weights configure the capacity calculator (zero = defaults).
+	Weights monitor.Weights
+	// history holds one reading-set per regrid.
+	history [][]monitor.Reading
+}
+
+// Name implements Strategy.
+func (p *Proactive) Name() string { return "proactive" }
+
+// Assign implements Strategy.
+func (p *Proactive) Assign(ctx *StepContext) (*partition.Assignment, string, error) {
+	part := p.P
+	if part == nil {
+		part = partition.Heterogeneous{}
+	}
+	w := p.Weights
+	if w == (monitor.Weights{}) {
+		w = monitor.DefaultWeights()
+	}
+	readings := monitor.ClusterSensor{Cluster: ctx.Machine}.Sample(ctx.SimTime)
+	if ctx.NProcs < len(readings) {
+		readings = readings[:ctx.NProcs]
+	}
+	p.history = append(p.history, readings)
+	caps, err := monitor.PredictiveCapacities(p.history, w)
+	if err != nil {
+		return nil, "", fmt.Errorf("core: predictive capacities: %w", err)
+	}
+	a, err := part.PartitionWeighted(ctx.Snap.H, ctx.WM, caps)
+	return a, part.Name(), err
+}
+
+var _ Strategy = (*Proactive)(nil)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+func TestAgentManagedRepartitionsOnlyOnEvents(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(8, 1e5, 512, 100)
+	am, err := NewAgentManaged(8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, am, RunConfig{Machine: machine, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Repartitions == 0 {
+		t.Fatal("agent-managed never repartitioned")
+	}
+	if am.Repartitions >= len(tr.Snapshots) {
+		t.Fatalf("agent-managed repartitioned at every regrid (%d of %d) — events are not gating",
+			am.Repartitions, len(tr.Snapshots))
+	}
+	// Reprojected intervals appear in the per-snapshot stats.
+	reprojected := 0
+	for _, s := range res.Snapshots {
+		if s.Partitioner == "reprojected" {
+			reprojected++
+		}
+	}
+	if reprojected == 0 {
+		t.Fatal("no regrid reused the standing assignment")
+	}
+	if reprojected+am.Repartitions != len(tr.Snapshots) {
+		t.Fatalf("reprojected %d + repartitions %d != %d snapshots",
+			reprojected, am.Repartitions, len(tr.Snapshots))
+	}
+}
+
+func TestAgentManagedValidation(t *testing.T) {
+	if _, err := NewAgentManaged(0, 25); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	am, err := NewAgentManaged(4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.ImbalanceEvent != 25 {
+		t.Fatalf("default event threshold = %g", am.ImbalanceEvent)
+	}
+}
+
+func TestReproject(t *testing.T) {
+	// Previous assignment: domain split in two halves across 2 procs.
+	h0, err := samr.NewHierarchy(samr.MakeBox(8, 4, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := &partition.Assignment{
+		NProcs: 2,
+		Units: []partition.Unit{
+			{Level: 0, Box: samr.MakeBox(4, 4, 4), Weight: 64},
+			{Level: 0, Box: samr.Box{Lo: samr.Point{4, 0, 0}, Hi: samr.Point{8, 4, 4}}, Weight: 64},
+		},
+		Owner: []int{0, 1},
+	}
+	// New hierarchy gains a refined level over the right half.
+	h1 := h0.Clone()
+	if err := h1.SetLevel(1, []samr.Box{{Lo: samr.Point{8, 0, 0}, Hi: samr.Point{16, 8, 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Reprojection fails because level 1 had no previous owner.
+	if _, ok := reproject(prev, h1, samr.UniformWorkModel{}); ok {
+		t.Fatal("reprojection over a new level should fail")
+	}
+	// Same-depth hierarchy reprojects; the level-0 box spanning both
+	// halves goes to the majority owner.
+	if a, ok := reproject(prev, h0, samr.UniformWorkModel{}); !ok {
+		t.Fatal("reprojection failed")
+	} else {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CoversHierarchy(h0); err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Units) != 1 || a.Owner[0] != 0 {
+			// The whole domain is one hierarchy box; owners tie at 50/50
+			// and the deterministic tie-break picks processor 0.
+			t.Fatalf("reprojection = %d units owner %v", len(a.Units), a.Owner)
+		}
+	}
+}
+
+func TestProactiveStrategy(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.LinuxCluster(8, 21)
+	res, err := Run(tr, &Proactive{}, RunConfig{Machine: machine, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "proactive" {
+		t.Fatalf("strategy = %q", res.Strategy)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no time accumulated")
+	}
+	// Proactive must also beat the capacity-blind default on a loaded
+	// cluster.
+	def, err := Run(tr, Static{P: partition.EqualBlock{}}, RunConfig{Machine: machine, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime >= def.TotalTime {
+		t.Fatalf("proactive %.2fs not faster than default %.2fs", res.TotalTime, def.TotalTime)
+	}
+}

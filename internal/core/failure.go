@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pragma-grid/pragma/internal/partition"
+)
+
+// FailureAware wraps any strategy with fail-stop tolerance: before each
+// regrid it senses which nodes are alive (the role system sensors play in
+// §3.4.2) and, when nodes have failed, partitions across the survivors and
+// remaps processor ids onto the live nodes. This is the "respond to system
+// failures" behavior of Pragma's reactive management.
+type FailureAware struct {
+	// Inner produces the actual partitioning (required).
+	Inner Strategy
+	// FailuresSeen counts regrids at which dead nodes were detected.
+	FailuresSeen int
+}
+
+// Name implements Strategy.
+func (f *FailureAware) Name() string { return f.Inner.Name() + "+ft" }
+
+// Assign implements Strategy.
+func (f *FailureAware) Assign(ctx *StepContext) (*partition.Assignment, string, error) {
+	alive := ctx.Machine.AliveNodes(ctx.SimTime)
+	if len(alive) == 0 {
+		return nil, "", fmt.Errorf("core: no nodes alive at t=%g", ctx.SimTime)
+	}
+	total := ctx.NProcs
+	if len(alive) > total {
+		alive = alive[:total]
+	}
+	if len(alive) == total {
+		return f.Inner.Assign(ctx)
+	}
+	f.FailuresSeen++
+	sub := *ctx
+	sub.NProcs = len(alive)
+	a, label, err := f.Inner.Assign(&sub)
+	if err != nil {
+		return nil, "", err
+	}
+	// Remap survivor-relative owners onto machine node ids; dead nodes
+	// keep zero work.
+	remapped := &partition.Assignment{
+		NProcs:    total,
+		Units:     a.Units,
+		Owner:     make([]int, len(a.Owner)),
+		SplitCost: a.SplitCost,
+	}
+	for i, o := range a.Owner {
+		remapped.Owner[i] = alive[o]
+	}
+	return remapped, label + "+ft", nil
+}
+
+var _ Strategy = (*FailureAware)(nil)

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/partition"
+)
+
+func TestFailureAwareSurvivesNodeLoss(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(8, 1e5, 512, 100)
+	// First measure a healthy run to locate mid-run time.
+	healthy, err := Run(tr, &FailureAware{Inner: Static{P: partition.GMISPSP{}}},
+		RunConfig{Machine: machine, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(healthy.TotalTime, 1) {
+		t.Fatal("healthy run infinite")
+	}
+
+	// Kill two nodes mid-run.
+	failing := cluster.Homogeneous(8, 1e5, 512, 100)
+	failing.Fail(2, healthy.TotalTime/3)
+	failing.Fail(5, healthy.TotalTime/2)
+	ft := &FailureAware{Inner: Static{P: partition.GMISPSP{}}}
+	res, err := Run(tr, ft, RunConfig{Machine: failing, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.TotalTime, 1) || math.IsNaN(res.TotalTime) {
+		t.Fatal("fault-tolerant run did not complete")
+	}
+	if ft.FailuresSeen == 0 {
+		t.Fatal("failures never detected")
+	}
+	// Losing a quarter of the machine must cost time, but bounded: the
+	// survivors absorb the work.
+	if res.TotalTime <= healthy.TotalTime {
+		t.Fatalf("run with failures (%.2fs) not slower than healthy (%.2fs)",
+			res.TotalTime, healthy.TotalTime)
+	}
+	if res.TotalTime > healthy.TotalTime*3 {
+		t.Fatalf("run with failures (%.2fs) blew up vs healthy (%.2fs)",
+			res.TotalTime, healthy.TotalTime)
+	}
+	if res.Strategy != "G-MISP+SP+ft" {
+		t.Fatalf("strategy = %q", res.Strategy)
+	}
+}
+
+func TestWithoutFailureAwarenessDeadNodeStallsRun(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(4, 1e5, 512, 100)
+	machine.Fail(1, 0.1)
+	res, err := Run(tr, Static{P: partition.GMISPSP{}}, RunConfig{Machine: machine, NProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive strategy keeps assigning work to the dead node: the
+	// simulated run never finishes, and the result says so loudly.
+	if !math.IsInf(res.TotalTime, 1) {
+		t.Fatalf("dead node did not stall the naive run: %.2fs", res.TotalTime)
+	}
+}
+
+func TestFailureAwareAllNodesDead(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(2, 1e5, 512, 100)
+	machine.Fail(0, 0)
+	machine.Fail(1, 0)
+	ft := &FailureAware{Inner: Static{P: partition.SFC{}}}
+	if _, err := Run(tr, ft, RunConfig{Machine: machine, NProcs: 2}); err == nil {
+		t.Fatal("run with zero live nodes succeeded")
+	}
+}
+
+func TestClusterAliveBookkeeping(t *testing.T) {
+	c := cluster.Homogeneous(4, 1e5, 512, 100)
+	c.Fail(2, 10)
+	if !c.Alive(2, 9.99) {
+		t.Error("node dead before failure time")
+	}
+	if c.Alive(2, 10) {
+		t.Error("node alive at failure time")
+	}
+	if c.Alive(-1, 0) || c.Alive(99, 0) {
+		t.Error("out-of-range nodes alive")
+	}
+	alive := c.AliveNodes(20)
+	if len(alive) != 3 || alive[0] != 0 || alive[1] != 1 || alive[2] != 3 {
+		t.Errorf("alive = %v", alive)
+	}
+	if got := c.EffectiveSpeed(2, 20); got != 0 {
+		t.Errorf("dead node speed = %g", got)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// RunConfig configures a trace replay.
+type RunConfig struct {
+	// Machine is the simulated execution environment (required).
+	Machine *cluster.Cluster
+	// Cost converts grid quantities into seconds; zero value means
+	// cluster.DefaultCostModel.
+	Cost cluster.CostModel
+	// NProcs is the processor count; 0 uses all machine nodes.
+	NProcs int
+	// WorkModel supplies per-snapshot region weights; nil means uniform.
+	WorkModel func(idx int) samr.WorkModel
+	// PartitionSecondsPerUnit models the partitioner's own running cost:
+	// partitioning time = units * assignment.SplitCost * this (0 = 1e-6).
+	// The SP-based partitioners pay their optimal-split search here while
+	// pBD-ISP stays cheap — the "partitioning time" component of the PAC
+	// metric.
+	PartitionSecondsPerUnit float64
+}
+
+// SnapshotStat records what happened at one regrid point.
+type SnapshotStat struct {
+	Index       int
+	Partitioner string
+	Quality     partition.Quality
+	StepTime    float64 // summed BSP time of the interval's coarse steps
+	Overhead    float64 // partitioning + migration seconds at this regrid
+}
+
+// RunResult aggregates a full replay.
+type RunResult struct {
+	Strategy string
+	// TotalTime is the simulated execution time in seconds — the
+	// "run-time" column of Tables 4 and 5.
+	TotalTime float64
+	// ComputeTime and CommTime accumulate the per-step maxima (they
+	// overlap inside a BSP step; their sum exceeds step time).
+	ComputeTime float64
+	CommTime    float64
+	// PartitionTime and MigrationTime accumulate repartitioning overheads.
+	PartitionTime float64
+	MigrationTime float64
+	// MaxImbalance is the worst percentage load imbalance over all
+	// regrids — Table 4's "max. load imbalance".
+	MaxImbalance float64
+	// AvgImbalance is the mean imbalance over regrids.
+	AvgImbalance float64
+	// AMREfficiency is the mean hierarchy AMR efficiency over snapshots —
+	// Table 4's "AMR efficiency".
+	AMREfficiency float64
+	// Switches counts partitioner changes between consecutive regrids.
+	Switches int
+	// Recoveries counts mid-interval failure recoveries: steps that could
+	// not complete (work on a dead node) and were repaired by re-invoking
+	// the strategy.
+	Recoveries int
+	// Steps is the number of coarse steps simulated.
+	Steps int
+	// Snapshots records per-regrid details.
+	Snapshots []SnapshotStat
+}
+
+// Run replays an adaptation trace on the simulated machine under the given
+// strategy and returns the accumulated execution profile.
+func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
+	if tr == nil || len(tr.Snapshots) == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("core: no machine")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	nprocs := cfg.NProcs
+	if nprocs == 0 {
+		nprocs = cfg.Machine.NProcs()
+	}
+	if nprocs < 1 || nprocs > cfg.Machine.NProcs() {
+		return nil, fmt.Errorf("core: nprocs %d outside machine size %d", nprocs, cfg.Machine.NProcs())
+	}
+	cost := cfg.Cost
+	if cost == (cluster.CostModel{}) {
+		cost = cluster.DefaultCostModel()
+	}
+	puCost := cfg.PartitionSecondsPerUnit
+	if puCost == 0 {
+		puCost = 1e-6
+	}
+	wmAt := cfg.WorkModel
+	if wmAt == nil {
+		wmAt = func(int) samr.WorkModel { return samr.UniformWorkModel{} }
+	}
+	stepsPerRegrid := tr.RegridEvery
+	if stepsPerRegrid < 1 {
+		stepsPerRegrid = 1
+	}
+
+	res := &RunResult{Strategy: strat.Name()}
+	var simTime float64
+	var prevA *partition.Assignment
+	var prevH *samr.Hierarchy
+	var prevLabel string
+	var imbSum, effSum float64
+
+	for idx, snap := range tr.Snapshots {
+		ctx := &StepContext{
+			Index:          idx,
+			Trace:          tr,
+			Snap:           snap,
+			WM:             wmAt(idx),
+			NProcs:         nprocs,
+			SimTime:        simTime,
+			Machine:        cfg.Machine,
+			PrevAssignment: prevA,
+			PrevHierarchy:  prevH,
+		}
+		a, label, err := strat.Assign(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: regrid %d: %w", idx, err)
+		}
+		if prevLabel != "" && label != prevLabel {
+			res.Switches++
+		}
+		prevLabel = label
+
+		comm := partition.Communication(snap.H, a)
+		units := float64(len(a.Units))
+		splitCost := a.SplitCost
+		if splitCost < 1 {
+			splitCost = 1
+		}
+		partTime := puCost * units * splitCost
+		q := partition.Quality{
+			CommVolume:   comm.Volume,
+			CommMessages: comm.Messages,
+			Imbalance:    a.Imbalance(),
+		}
+		var migTime float64
+		if prevA != nil && prevH != nil {
+			q.Migration = partition.MigrationFraction(prevH, prevA, snap.H, a)
+			migTime = cfg.Machine.MigrationTime(q.Migration*float64(snap.H.TotalCells()), cost)
+		}
+		boxes := 0
+		for _, lb := range snap.H.Levels {
+			boxes += len(lb)
+		}
+		if boxes > 0 {
+			q.Overhead = units / float64(boxes)
+		}
+
+		res.PartitionTime += partTime
+		res.MigrationTime += migTime
+		simTime += partTime + migTime
+
+		stat := SnapshotStat{Index: idx, Partitioner: label, Quality: q, Overhead: partTime + migTime}
+		work := a.Work()
+		for s := 0; s < stepsPerRegrid; s++ {
+			sc := cfg.Machine.Step(work, comm.PerProcVolume, comm.PerProcMessages, simTime, cost)
+			if math.IsInf(sc.Total, 1) {
+				// A node carrying work died mid-interval. Give the
+				// strategy one chance to recover: re-assign at the current
+				// time and charge a full redistribution. Strategies that
+				// ignore liveness re-produce the stalled assignment and
+				// the run stays infinite — which is the honest outcome.
+				ctx.SimTime = simTime
+				ctx.PrevAssignment, ctx.PrevHierarchy = a, snap.H
+				a2, label2, err := strat.Assign(ctx)
+				if err == nil {
+					recMig := cfg.Machine.MigrationTime(float64(snap.H.TotalCells()), cost)
+					simTime += recMig
+					res.MigrationTime += recMig
+					a = a2
+					stat.Partitioner = label2
+					comm = partition.Communication(snap.H, a)
+					work = a.Work()
+					res.Recoveries++
+					sc = cfg.Machine.Step(work, comm.PerProcVolume, comm.PerProcMessages, simTime, cost)
+				}
+			}
+			simTime += sc.Total
+			stat.StepTime += sc.Total
+			res.ComputeTime += sc.Compute
+			res.CommTime += sc.Comm
+			res.Steps++
+		}
+		res.Snapshots = append(res.Snapshots, stat)
+		imbSum += q.Imbalance
+		if q.Imbalance > res.MaxImbalance {
+			res.MaxImbalance = q.Imbalance
+		}
+		effSum += snap.H.AMREfficiency()
+		prevA, prevH = a, snap.H
+	}
+	res.TotalTime = simTime
+	n := float64(len(tr.Snapshots))
+	res.AvgImbalance = imbSum / n
+	res.AMREfficiency = effSum / n
+	return res, nil
+}

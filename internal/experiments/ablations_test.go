@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/rm3d"
+)
+
+func TestAblationCurves(t *testing.T) {
+	rows, err := AblationCurves(rm3d.SmallConfig(), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Curve != "hilbert" || rows[1].Curve != "morton" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Hilbert's locality must not lose on communication volume.
+	if rows[0].CommVolume > rows[1].CommVolume*1.05 {
+		t.Errorf("hilbert comm %.0f clearly worse than morton %.0f",
+			rows[0].CommVolume, rows[1].CommVolume)
+	}
+	for _, r := range rows {
+		if r.CommVolume <= 0 || r.CommMessages <= 0 {
+			t.Errorf("%s: empty stats %+v", r.Curve, r)
+		}
+	}
+}
+
+func TestAblationSplitters(t *testing.T) {
+	rows, err := AblationSplitters(rm3d.SmallConfig(), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	greedy, sp := rows[0], rows[1]
+	if greedy.Splitter != "G-MISP" || sp.Splitter != "G-MISP+SP" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Optimal sequence partitioning dominates greedy at equal granularity.
+	if sp.Imbalance > greedy.Imbalance {
+		t.Errorf("SP mean imbalance %.2f%% worse than greedy %.2f%%", sp.Imbalance, greedy.Imbalance)
+	}
+	if sp.MaxImbalance > greedy.MaxImbalance {
+		t.Errorf("SP max imbalance %.2f%% worse than greedy %.2f%%", sp.MaxImbalance, greedy.MaxImbalance)
+	}
+}
+
+func TestAblationForecasters(t *testing.T) {
+	rows, err := AblationForecasters(8, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := map[string]float64{}
+	for _, r := range rows {
+		if r.MSE < 0 {
+			t.Errorf("%s: negative MSE", r.Forecaster)
+		}
+		mse[r.Forecaster] = r.MSE
+	}
+	// The meta-forecaster must be competitive: no worse than 1.5x the best
+	// individual forecaster (it pays a small exploration cost).
+	best := -1.0
+	for name, v := range mse {
+		if name == "nws-meta" {
+			continue
+		}
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	if mse["nws-meta"] > best*1.5 {
+		t.Errorf("meta MSE %g not competitive with best individual %g", mse["nws-meta"], best)
+	}
+	if _, err := AblationForecasters(0, 100, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestAblationProcSweep(t *testing.T) {
+	rows, err := AblationProcSweep(rm3d.SmallConfig(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AdaptiveTime <= 0 || r.BestStaticTime <= 0 || r.WorstStaticTime < r.BestStaticTime {
+			t.Errorf("bad row %+v", r)
+		}
+		// Adaptive never loses to the worst static choice.
+		if r.AdaptiveVsWorstStatic <= 0 {
+			t.Errorf("procs %d: adaptive not better than worst static (%+v)", r.Procs, r)
+		}
+	}
+}
+
+func TestAblationCapacityWeights(t *testing.T) {
+	rows, err := AblationCapacityWeights(rm3d.SmallConfig(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Pure-CPU weighting must beat capacity-blind weighting (CPU weight 0)
+	// on a CPU-load-dominated cluster.
+	if rows[4].Improvement <= rows[0].Improvement {
+		t.Errorf("cpu-weight 1.0 improvement %.1f%% not above cpu-weight 0 improvement %.1f%%",
+			rows[4].Improvement, rows[0].Improvement)
+	}
+}
+
+func TestAblationManagement(t *testing.T) {
+	rows, err := AblationManagement(rm3d.SmallConfig(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ManagementAblationRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+		if r.Runtime <= 0 {
+			t.Errorf("%s: runtime %g", r.Strategy, r.Runtime)
+		}
+	}
+	// Capacity-aware strategies beat the default scheme.
+	def := byName["EqualBlock"].Runtime
+	for _, name := range []string{"system-sensitive", "proactive"} {
+		if byName[name].Runtime >= def {
+			t.Errorf("%s (%.2fs) not faster than default (%.2fs)", name, byName[name].Runtime, def)
+		}
+	}
+	// The agent-managed loop repartitions strictly less often than every
+	// regrid.
+	am := byName["agent-managed"]
+	if am.Repartitions <= 0 || am.Repartitions >= len(rows)*100 {
+		// sanity only; exact count asserted in core tests
+		t.Logf("agent-managed repartitions: %d", am.Repartitions)
+	}
+}
+
+func TestAblationFailures(t *testing.T) {
+	rows, err := AblationFailures(rm3d.SmallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Scenario != "healthy" {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	// Degradation is graceful and monotone: more failures, more time, but
+	// every run completes.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Runtime <= rows[i-1].Runtime {
+			t.Errorf("scenario %q (%.2fs) not slower than %q (%.2fs)",
+				rows[i].Scenario, rows[i].Runtime, rows[i-1].Scenario, rows[i-1].Runtime)
+		}
+		if rows[i].Detected == 0 {
+			t.Errorf("scenario %q never detected failures", rows[i].Scenario)
+		}
+	}
+	// Losing 2 of 8 nodes must cost less than 3x the healthy runtime.
+	if rows[2].Runtime > rows[0].Runtime*3 {
+		t.Errorf("two failures blew up runtime: %.2fs vs %.2fs", rows[2].Runtime, rows[0].Runtime)
+	}
+}

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1ErrorsInPaperBand(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	wantSizes := []float64{200, 400, 600, 800, 1000}
+	for i, r := range rows {
+		if r.DataSize != wantSizes[i] {
+			t.Errorf("row %d data size %g, want %g", i, r.DataSize, wantSizes[i])
+		}
+		// The paper reports errors roughly between 0.5% and 5%; we require
+		// the same ceiling (with slack) and sane positive delays.
+		if r.PercentError > 6 {
+			t.Errorf("row %d error %.2f%% above band", i, r.PercentError)
+		}
+		if r.Predicted <= 0 || r.Measured <= 0 {
+			t.Errorf("row %d non-positive delays: %+v", i, r)
+		}
+	}
+	// Delay grows with data size, as in the paper's measured column.
+	if rows[4].Measured <= rows[0].Measured {
+		t.Error("measured delay does not grow with data size")
+	}
+	// Magnitudes match the paper's: ~8e-4 s at 200 B, ~2e-3 s at 1000 B.
+	if rows[0].Measured < 5e-4 || rows[0].Measured > 1.2e-3 {
+		t.Errorf("200 B delay %g outside paper magnitude", rows[0].Measured)
+	}
+	if rows[4].Measured < 1.6e-3 || rows[4].Measured > 3e-3 {
+		t.Errorf("1000 B delay %g outside paper magnitude", rows[4].Measured)
+	}
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	want := map[string][]string{
+		"I":    {"pBD-ISP", "G-MISP+SP"},
+		"II":   {"pBD-ISP"},
+		"III":  {"G-MISP+SP", "SP-ISP"},
+		"IV":   {"G-MISP+SP", "SP-ISP", "ISP"},
+		"V":    {"pBD-ISP"},
+		"VI":   {"pBD-ISP"},
+		"VII":  {"G-MISP+SP"},
+		"VIII": {"G-MISP+SP", "ISP"},
+	}
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("Table 2 has %d rows", len(rows))
+	}
+	for _, row := range rows {
+		w := want[row.Octant]
+		if strings.Join(row.Schemes, ",") != strings.Join(w, ",") {
+			t.Errorf("octant %s: %v, paper lists %v", row.Octant, row.Schemes, w)
+		}
+	}
+}
+
+func TestTable3MatchesPaperExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale trace")
+	}
+	want := map[int][2]string{
+		0:   {"IV", "G-MISP+SP"},
+		5:   {"VII", "G-MISP+SP"},
+		25:  {"I", "pBD-ISP"},
+		106: {"VI", "pBD-ISP"},
+		137: {"VIII", "G-MISP+SP"},
+		162: {"II", "pBD-ISP"},
+		174: {"V", "pBD-ISP"},
+		201: {"III", "G-MISP+SP"},
+	}
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table 3 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		w := want[r.TimeStep]
+		if r.Octant != w[0] || r.Partitioner != w[1] {
+			t.Errorf("time-step %d: (%s, %s), paper reports (%s, %s)",
+				r.TimeStep, r.Octant, r.Partitioner, w[0], w[1])
+		}
+	}
+}
+
+func TestTable4SmallShape(t *testing.T) {
+	// The fast configuration cannot reproduce the 64-processor numbers but
+	// must preserve the basic shape: valid rows, plausible imbalances, and
+	// uniformly high AMR efficiency.
+	rows, err := Table4(SmallTable4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table 4 has %d rows", len(rows))
+	}
+	names := []string{"SFC", "G-MISP+SP", "pBD-ISP", "adaptive"}
+	for i, r := range rows {
+		if r.Partitioner != names[i] {
+			t.Errorf("row %d partitioner %s, want %s", i, r.Partitioner, names[i])
+		}
+		if r.Runtime <= 0 {
+			t.Errorf("%s runtime %g", r.Partitioner, r.Runtime)
+		}
+		if r.AMREfficiency < 80 {
+			t.Errorf("%s AMR efficiency %.1f%%", r.Partitioner, r.AMREfficiency)
+		}
+		if r.MaxImbalance < 0 || r.MaxImbalance > 200 {
+			t.Errorf("%s imbalance %.1f%%", r.Partitioner, r.MaxImbalance)
+		}
+	}
+	// AMR efficiency is a property of the application, not the partitioner.
+	for _, r := range rows[1:] {
+		if diff := r.AMREfficiency - rows[0].AMREfficiency; diff > 0.01 || diff < -0.01 {
+			t.Errorf("AMR efficiency differs across partitioners: %v", rows)
+		}
+	}
+	// G-MISP+SP balances better than pBD-ISP at any scale.
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Partitioner] = r
+	}
+	if byName["G-MISP+SP"].MaxImbalance > byName["pBD-ISP"].MaxImbalance {
+		t.Errorf("G-MISP+SP imbalance %.1f%% above pBD-ISP %.1f%%",
+			byName["G-MISP+SP"].MaxImbalance, byName["pBD-ISP"].MaxImbalance)
+	}
+}
+
+// TestTable4PaperShape checks the full paper-scale orderings; it is the
+// slowest test in the repository (~30 s) and is skipped in -short runs.
+func TestTable4PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale replay")
+	}
+	rows, err := Table4(DefaultTable4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Partitioner] = r
+	}
+	a, g, p, s := byName["adaptive"], byName["G-MISP+SP"], byName["pBD-ISP"], byName["SFC"]
+	// Runtime ordering of the paper's Table 4: adaptive fastest, then
+	// G-MISP+SP, then pBD-ISP, SFC slowest.
+	if !(a.Runtime < g.Runtime && g.Runtime < p.Runtime && p.Runtime < s.Runtime) {
+		t.Errorf("runtime ordering wrong: adaptive %.1f, G-MISP+SP %.1f, pBD-ISP %.1f, SFC %.1f",
+			a.Runtime, g.Runtime, p.Runtime, s.Runtime)
+	}
+	// Dynamically switching partitioners reduces runtime over the slowest.
+	if imp := 100 * (s.Runtime - a.Runtime) / s.Runtime; imp < 5 {
+		t.Errorf("adaptive improvement over slowest %.1f%%, want clearly positive", imp)
+	}
+	// Imbalance ordering: G-MISP+SP < SFC < pBD-ISP; adaptive below SFC.
+	if !(g.MaxImbalance < s.MaxImbalance && s.MaxImbalance < p.MaxImbalance) {
+		t.Errorf("imbalance ordering wrong: G %.1f, SFC %.1f, pBD %.1f",
+			g.MaxImbalance, s.MaxImbalance, p.MaxImbalance)
+	}
+	if a.MaxImbalance >= p.MaxImbalance {
+		t.Errorf("adaptive imbalance %.1f%% not below pBD-ISP %.1f%%", a.MaxImbalance, p.MaxImbalance)
+	}
+	// AMR efficiency high for all, as in the paper (~98.8%).
+	for _, r := range rows {
+		if r.AMREfficiency < 85 {
+			t.Errorf("%s AMR efficiency %.1f%%", r.Partitioner, r.AMREfficiency)
+		}
+	}
+}
+
+func TestTable5SmallImprovementPositive(t *testing.T) {
+	rows, err := Table5(SmallTable5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Improvement <= 0 {
+			t.Errorf("procs %d: improvement %.1f%% not positive", r.Procs, r.Improvement)
+		}
+		if r.SystemSensitiveTime >= r.DefaultTime {
+			t.Errorf("procs %d: system-sensitive not faster", r.Procs)
+		}
+	}
+}
+
+// TestTable5PaperShape verifies the full Table 5 shape: improvements in the
+// paper's band, growing toward larger clusters (~18% at 32 nodes).
+func TestTable5PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale replay")
+	}
+	rows, err := Table5(DefaultTable5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Improvement < 3 || r.Improvement > 40 {
+			t.Errorf("procs %d: improvement %.1f%% outside plausible band", r.Procs, r.Improvement)
+		}
+	}
+	// Improvement at 32 nodes is the largest and lands near the paper's ~18%.
+	last := rows[len(rows)-1]
+	if last.Procs != 32 {
+		t.Fatalf("last row procs = %d", last.Procs)
+	}
+	for _, r := range rows[:len(rows)-1] {
+		if r.Improvement > last.Improvement {
+			t.Errorf("improvement at %d procs (%.1f%%) exceeds 32 procs (%.1f%%)",
+				r.Procs, r.Improvement, last.Improvement)
+		}
+	}
+	if last.Improvement < 10 || last.Improvement > 30 {
+		t.Errorf("32-node improvement %.1f%%, paper reports ~18%%", last.Improvement)
+	}
+}
+
+func TestFigure2Occupancy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale trace")
+	}
+	rows, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		if r.Visits == 0 {
+			t.Errorf("octant %s never visited", r.Octant)
+		}
+		total += r.Visits
+	}
+	if total != 202 {
+		t.Errorf("total visits %d, want 202 snapshots", total)
+	}
+}
+
+func TestFigure3Profiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale trace")
+	}
+	profiles, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(Table3SampleSteps) {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for i, p := range profiles {
+		if !strings.Contains(p, "+") {
+			t.Errorf("profile %d shows no refinement:\n%s", i, p)
+		}
+	}
+	if _, err := Figure3(99999); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+}
+
+func TestFigure4Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale trace")
+	}
+	res, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capacities) != 8 || len(res.WorkShares) != 8 || len(res.CPUAvailable) != 8 {
+		t.Fatalf("bad shapes: %+v", res)
+	}
+	var capSum, shareSum float64
+	for i := range res.Capacities {
+		capSum += res.Capacities[i]
+		shareSum += res.WorkShares[i]
+	}
+	if capSum < 0.999 || capSum > 1.001 {
+		t.Errorf("capacities sum to %g", capSum)
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("work shares sum to %g", shareSum)
+	}
+	// The most loaded node must receive less work than the least loaded.
+	loIdx, hiIdx := 0, 0
+	for i, c := range res.CPUAvailable {
+		if c < res.CPUAvailable[loIdx] {
+			loIdx = i
+		}
+		if c > res.CPUAvailable[hiIdx] {
+			hiIdx = i
+		}
+	}
+	if res.WorkShares[loIdx] >= res.WorkShares[hiIdx] {
+		t.Errorf("loaded node %d share %.3f not below idle node %d share %.3f",
+			loIdx, res.WorkShares[loIdx], hiIdx, res.WorkShares[hiIdx])
+	}
+}
+
+func TestTraceCaching(t *testing.T) {
+	a, err := SmallTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SmallTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace cache returned distinct objects")
+	}
+}

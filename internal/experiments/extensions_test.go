@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/rm3d"
+)
+
+func TestCrossApplication(t *testing.T) {
+	rows, err := CrossApplication(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Application] = true
+		total := 0
+		for _, v := range r.Occupancy {
+			total += v
+		}
+		if total == 0 {
+			t.Errorf("%s: empty occupancy", r.Application)
+		}
+		if r.AdaptiveTime <= 0 || r.BestStaticTime <= 0 {
+			t.Errorf("%s: empty runtimes %+v", r.Application, r)
+		}
+		// Adaptive stays within a sane factor of the best static choice
+		// (it cannot always win, but must never blow up).
+		if r.AdaptiveTime > r.BestStaticTime*1.5 {
+			t.Errorf("%s: adaptive %.2fs vs best static %.2fs", r.Application, r.AdaptiveTime, r.BestStaticTime)
+		}
+	}
+	for _, want := range []string{"RM3D", "galaxy", "supernova"} {
+		if !names[want] {
+			t.Errorf("missing application %s (got %v)", want, names)
+		}
+	}
+	// Octant trajectories are application-specific: occupancies differ.
+	if rows[0].Occupancy == rows[1].Occupancy {
+		t.Error("RM3D and galaxy occupancies identical")
+	}
+}
+
+func TestPFRuntimePrediction(t *testing.T) {
+	rows, err := PFRuntimePrediction(rm3d.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Predicted <= 0 || r.Simulated <= 0 {
+			t.Errorf("procs %d: non-positive values %+v", r.Procs, r)
+		}
+		limit := 10.0 // percent, interpolation
+		if r.Extrapolated {
+			limit = 35 // extrapolation beyond the training set degrades
+		}
+		if r.PercentError > limit {
+			t.Errorf("procs %d: prediction error %.1f%% above %.0f%% (extrapolated=%v)",
+				r.Procs, r.PercentError, limit, r.Extrapolated)
+		}
+	}
+	// Runtime falls with processor count in both prediction and simulation.
+	if rows[0].Simulated <= rows[len(rows)-1].Simulated {
+		t.Error("simulated runtime does not fall with processors")
+	}
+	if rows[0].Predicted <= rows[len(rows)-1].Predicted {
+		t.Error("predicted runtime does not fall with processors")
+	}
+}
+
+func TestExperimentErrorPaths(t *testing.T) {
+	bad := rm3d.SmallConfig()
+	bad.Ratio = 0
+	if _, err := Table4(Table4Config{Trace: bad, NProcs: 8}); err == nil {
+		t.Error("Table4 accepted invalid trace config")
+	}
+	if _, err := Table5(Table5Config{Trace: bad, ProcCounts: []int{4}}); err == nil {
+		t.Error("Table5 accepted invalid trace config")
+	}
+	if _, err := AblationCurves(bad, 8, 4); err == nil {
+		t.Error("AblationCurves accepted invalid trace config")
+	}
+	if _, err := PFRuntimePrediction(bad); err == nil {
+		t.Error("PFRuntimePrediction accepted invalid trace config")
+	}
+}

@@ -1,0 +1,121 @@
+package hydro
+
+// Second-order spatial reconstruction. The first-order Rusanov scheme in
+// hydro.go smears discontinuities over many cells; MUSCL reconstruction
+// with a minmod limiter sharpens them substantially while remaining
+// oscillation-free. Order selection matters to Pragma because the error
+// estimator flags steep gradients: a sharper solver concentrates
+// refinement into narrower regions, changing the adaptation pattern the
+// octant classifier sees.
+
+// Order selects the spatial accuracy of Step.
+type Order int
+
+// Supported spatial orders.
+const (
+	// FirstOrder uses piecewise-constant states (the default).
+	FirstOrder Order = 1
+	// SecondOrder uses MUSCL reconstruction with a minmod limiter.
+	SecondOrder Order = 2
+)
+
+// SetOrder selects the spatial order used by Step and Advance.
+func (g *Grid) SetOrder(o Order) {
+	if o == SecondOrder {
+		g.secondOrder = true
+	} else {
+		g.secondOrder = false
+	}
+}
+
+// minmod is the classic symmetric slope limiter.
+func minmod(a, b float64) float64 {
+	if a > 0 && b > 0 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	if a < 0 && b < 0 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return 0
+}
+
+// limitedSlope returns the minmod slope of each conserved component at the
+// cell with neighbors lo (i-1) and hi (i+1).
+func limitedSlope(lo, c, hi State) State {
+	return State{
+		Rho: minmod(c.Rho-lo.Rho, hi.Rho-c.Rho),
+		Mx:  minmod(c.Mx-lo.Mx, hi.Mx-c.Mx),
+		My:  minmod(c.My-lo.My, hi.My-c.My),
+		Mz:  minmod(c.Mz-lo.Mz, hi.Mz-c.Mz),
+		E:   minmod(c.E-lo.E, hi.E-c.E),
+	}
+}
+
+func addScaled(s State, d State, f float64) State {
+	return State{
+		Rho: s.Rho + f*d.Rho,
+		Mx:  s.Mx + f*d.Mx,
+		My:  s.My + f*d.My,
+		Mz:  s.Mz + f*d.Mz,
+		E:   s.E + f*d.E,
+	}
+}
+
+// stepSecondOrder advances the solution by dt with MUSCL-reconstructed
+// interface states (one ghost layer suffices because the boundary is
+// zero-gradient: the outermost slope degenerates to first order there).
+func (g *Grid) stepSecondOrder(dt float64) {
+	g.applyBC()
+	lambda := dt / g.Dx
+	off := [3][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	at := func(i, j, k int) State { return g.cells[g.idx(i, j, k)] }
+	// slopeAt computes the limited slope along d with clamped neighbor
+	// access (ghosts cover distance 1; distance 2 falls back to the ghost).
+	slopeAt := func(i, j, k, d int) State {
+		o := off[d]
+		lo := at(clamp(i-o[0], -1, g.Nx), clamp(j-o[1], -1, g.Ny), clamp(k-o[2], -1, g.Nz))
+		hi := at(clamp(i+o[0], -1, g.Nx), clamp(j+o[1], -1, g.Ny), clamp(k+o[2], -1, g.Nz))
+		return limitedSlope(lo, at(i, j, k), hi)
+	}
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				c := at(i, j, k)
+				acc := c
+				for d := 0; d < 3; d++ {
+					o := off[d]
+					li, lj, lk := i-o[0], j-o[1], k-o[2]
+					hi, hj, hk := i+o[0], j+o[1], k+o[2]
+					sC := slopeAt(i, j, k, d)
+					// Minus interface: left state from the lower neighbor
+					// (+slope/2), right state from this cell (-slope/2).
+					var sL State
+					if li >= 0 && lj >= 0 && lk >= 0 {
+						sL = slopeAt(li, lj, lk, d)
+					}
+					fm := g.rusanov(addScaled(at(li, lj, lk), sL, 0.5), addScaled(c, sC, -0.5), d)
+					// Plus interface: left from this cell (+slope/2),
+					// right from the upper neighbor (-slope/2).
+					var sH State
+					if hi < g.Nx && hj < g.Ny && hk < g.Nz {
+						sH = slopeAt(hi, hj, hk, d)
+					}
+					fp := g.rusanov(addScaled(c, sC, 0.5), addScaled(at(hi, hj, hk), sH, -0.5), d)
+					acc.Rho -= lambda * (fp.Rho - fm.Rho)
+					acc.Mx -= lambda * (fp.Mx - fm.Mx)
+					acc.My -= lambda * (fp.My - fm.My)
+					acc.Mz -= lambda * (fp.Mz - fm.Mz)
+					acc.E -= lambda * (fp.E - fm.E)
+				}
+				g.scratch[g.idx(i, j, k)] = acc
+			}
+		}
+	}
+	g.cells, g.scratch = g.scratch, g.cells
+}

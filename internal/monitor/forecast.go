@@ -1,0 +1,320 @@
+// Package monitor implements Pragma's system characterization and
+// abstraction component (§3.1): resource sensors over the simulated
+// cluster, an NWS-style forecaster suite for predictive analysis of system
+// behavior, and the relative-capacity calculator that feeds the
+// system-sensitive partitioner (Fig. 4).
+//
+// The forecasting design follows the Network Weather Service (Wolski,
+// HPDC'97), which the paper builds on: several cheap predictors run in
+// parallel over each measurement series, and a meta-forecaster answers with
+// the predictor that has accumulated the lowest error so far.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Forecaster predicts the next value of a measurement series.
+type Forecaster interface {
+	// Name identifies the forecasting method.
+	Name() string
+	// Update feeds one observation.
+	Update(v float64)
+	// Predict returns the forecast for the next observation. Before any
+	// observation it returns 0.
+	Predict() float64
+}
+
+// LastValue predicts the most recent observation.
+type LastValue struct{ last float64 }
+
+// Name implements Forecaster.
+func (*LastValue) Name() string { return "last-value" }
+
+// Update implements Forecaster.
+func (f *LastValue) Update(v float64) { f.last = v }
+
+// Predict implements Forecaster.
+func (f *LastValue) Predict() float64 { return f.last }
+
+// RunningMean predicts the mean of all observations.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// Name implements Forecaster.
+func (*RunningMean) Name() string { return "running-mean" }
+
+// Update implements Forecaster.
+func (f *RunningMean) Update(v float64) { f.sum += v; f.n++ }
+
+// Predict implements Forecaster.
+func (f *RunningMean) Predict() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return f.sum / float64(f.n)
+}
+
+// SlidingMean predicts the mean of the last W observations.
+type SlidingMean struct {
+	w   int
+	buf []float64
+}
+
+// NewSlidingMean builds a sliding-mean forecaster with window w (>= 1).
+func NewSlidingMean(w int) *SlidingMean {
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingMean{w: w}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMean) Name() string { return fmt.Sprintf("sliding-mean-%d", f.w) }
+
+// Update implements Forecaster.
+func (f *SlidingMean) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.w {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Predict implements Forecaster.
+func (f *SlidingMean) Predict() float64 {
+	if len(f.buf) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range f.buf {
+		s += v
+	}
+	return s / float64(len(f.buf))
+}
+
+// SlidingMedian predicts the median of the last W observations.
+type SlidingMedian struct {
+	w   int
+	buf []float64
+}
+
+// NewSlidingMedian builds a sliding-median forecaster with window w (>= 1).
+func NewSlidingMedian(w int) *SlidingMedian {
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingMedian{w: w}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMedian) Name() string { return fmt.Sprintf("sliding-median-%d", f.w) }
+
+// Update implements Forecaster.
+func (f *SlidingMedian) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.w {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Predict implements Forecaster.
+func (f *SlidingMedian) Predict() float64 {
+	n := len(f.buf)
+	if n == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), f.buf...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// ExpSmoothing predicts with exponential smoothing s' = a*v + (1-a)*s.
+type ExpSmoothing struct {
+	alpha   float64
+	state   float64
+	started bool
+}
+
+// NewExpSmoothing builds an exponential-smoothing forecaster with gain
+// alpha in (0, 1].
+func NewExpSmoothing(alpha float64) *ExpSmoothing {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &ExpSmoothing{alpha: alpha}
+}
+
+// Name implements Forecaster.
+func (f *ExpSmoothing) Name() string { return fmt.Sprintf("exp-smoothing-%.2f", f.alpha) }
+
+// Update implements Forecaster.
+func (f *ExpSmoothing) Update(v float64) {
+	if !f.started {
+		f.state = v
+		f.started = true
+		return
+	}
+	f.state = f.alpha*v + (1-f.alpha)*f.state
+}
+
+// Predict implements Forecaster.
+func (f *ExpSmoothing) Predict() float64 { return f.state }
+
+// AR1 fits a first-order autoregressive model x' = mean + rho*(x - mean)
+// over a sliding window.
+type AR1 struct {
+	w   int
+	buf []float64
+}
+
+// NewAR1 builds an AR(1) forecaster over a window of w observations.
+func NewAR1(w int) *AR1 {
+	if w < 4 {
+		w = 4
+	}
+	return &AR1{w: w}
+}
+
+// Name implements Forecaster.
+func (f *AR1) Name() string { return fmt.Sprintf("ar1-%d", f.w) }
+
+// Update implements Forecaster.
+func (f *AR1) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.w {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Predict implements Forecaster.
+func (f *AR1) Predict() float64 {
+	n := len(f.buf)
+	if n == 0 {
+		return 0
+	}
+	if n < 3 {
+		return f.buf[n-1]
+	}
+	var mean float64
+	for _, v := range f.buf {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 1; i < n; i++ {
+		num += (f.buf[i] - mean) * (f.buf[i-1] - mean)
+	}
+	for _, v := range f.buf {
+		den += (v - mean) * (v - mean)
+	}
+	rho := 0.0
+	if den > 1e-12 {
+		rho = num / den
+	}
+	if rho > 1 {
+		rho = 1
+	}
+	if rho < -1 {
+		rho = -1
+	}
+	return mean + rho*(f.buf[n-1]-mean)
+}
+
+// Meta is the NWS meta-forecaster: it runs a pool of forecasters and
+// predicts with whichever has the lowest accumulated squared error.
+type Meta struct {
+	pool []Forecaster
+	mse  []float64
+	n    int
+}
+
+// NewMeta builds a meta-forecaster over the given pool; with an empty pool
+// it uses the standard NWS-style set.
+func NewMeta(pool ...Forecaster) *Meta {
+	if len(pool) == 0 {
+		pool = []Forecaster{
+			&LastValue{},
+			&RunningMean{},
+			NewSlidingMean(8),
+			NewSlidingMean(32),
+			NewSlidingMedian(8),
+			NewExpSmoothing(0.3),
+			NewExpSmoothing(0.7),
+			NewAR1(32),
+		}
+	}
+	return &Meta{pool: pool, mse: make([]float64, len(pool))}
+}
+
+// Name implements Forecaster.
+func (m *Meta) Name() string { return "nws-meta" }
+
+// Update implements Forecaster: it first charges each pool member the error
+// of its pending prediction, then feeds the observation to all members.
+func (m *Meta) Update(v float64) {
+	if m.n > 0 {
+		for i, f := range m.pool {
+			d := f.Predict() - v
+			m.mse[i] += d * d
+		}
+	}
+	for _, f := range m.pool {
+		f.Update(v)
+	}
+	m.n++
+}
+
+// Predict implements Forecaster.
+func (m *Meta) Predict() float64 { return m.pool[m.bestIndex()].Predict() }
+
+// Best returns the currently winning pool member.
+func (m *Meta) Best() Forecaster { return m.pool[m.bestIndex()] }
+
+// MSE returns each pool member's mean squared prediction error so far,
+// keyed by forecaster name.
+func (m *Meta) MSE() map[string]float64 {
+	out := make(map[string]float64, len(m.pool))
+	div := float64(m.n - 1)
+	if div < 1 {
+		div = 1
+	}
+	for i, f := range m.pool {
+		out[f.Name()] = m.mse[i] / div
+	}
+	return out
+}
+
+func (m *Meta) bestIndex() int {
+	best := 0
+	for i := 1; i < len(m.pool); i++ {
+		if m.mse[i] < m.mse[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+var _ Forecaster = (*Meta)(nil)
+
+// MSEOf evaluates a forecaster over a series: it returns the mean squared
+// one-step-ahead prediction error. The series must be non-empty for the
+// result to be meaningful.
+func MSEOf(f Forecaster, series []float64) float64 {
+	if len(series) < 2 {
+		return 0
+	}
+	var sum float64
+	f.Update(series[0])
+	for _, v := range series[1:] {
+		d := f.Predict() - v
+		sum += d * d
+		f.Update(v)
+	}
+	return sum / float64(len(series)-1)
+}

@@ -1,0 +1,81 @@
+package octant
+
+import "math"
+
+// This file implements fuzzy octant classification. §3.5 specifies that
+// "the policy knowledge base will present an associative interface that
+// allows the agents to formulate partial queries and use fuzzy reasoning";
+// a state near an axis threshold is genuinely ambiguous, and crisp
+// classification flaps there. FuzzyClassify grades membership in every
+// octant so agents can see that ambiguity (and, e.g., hold the current
+// partitioner when no octant clearly dominates).
+
+// Membership grades a state's degree of membership in each octant,
+// in [0, 1]. The eight values sum to 1.
+type Membership map[Octant]float64
+
+// FuzzyClassify computes per-octant memberships: each axis contributes a
+// sigmoid membership centered on its threshold, with softness expressed as
+// a fraction of the threshold value; axis memberships multiply.
+func FuzzyClassify(s State, th Thresholds, softness float64) Membership {
+	if softness <= 0 {
+		softness = 0.25
+	}
+	dyn := axisMembership(s.Dynamics, th.Dynamics, softness)
+	comm := axisMembership(s.CommRatio, th.CommRatio, softness)
+	scat := axisMembership(s.Dispersion, th.Dispersion, softness)
+	m := make(Membership, 8)
+	var total float64
+	for _, hi := range []bool{false, true} {
+		for _, cd := range []bool{false, true} {
+			for _, sc := range []bool{false, true} {
+				v := pick(dyn, hi) * pick(comm, cd) * pick(scat, sc)
+				m[FromAxes(hi, cd, sc)] = v
+				total += v
+			}
+		}
+	}
+	if total > 0 {
+		for o := range m {
+			m[o] /= total
+		}
+	}
+	return m
+}
+
+// axisMembership returns the degree to which v lies in the axis's upper
+// half-space, via a logistic centered at the threshold with width
+// softness*threshold.
+func axisMembership(v, threshold, softness float64) float64 {
+	width := softness * threshold
+	if width <= 0 {
+		width = softness
+	}
+	return 1 / (1 + math.Exp(-(v-threshold)/width))
+}
+
+func pick(upper float64, wantUpper bool) float64 {
+	if wantUpper {
+		return upper
+	}
+	return 1 - upper
+}
+
+// Best returns the octant with the highest membership and that membership.
+// Ties break toward the lower octant number for determinism.
+func (m Membership) Best() (Octant, float64) {
+	best, bestV := I, -1.0
+	for o := I; o <= VIII; o++ {
+		if v := m[o]; v > bestV {
+			best, bestV = o, v
+		}
+	}
+	return best, bestV
+}
+
+// Ambiguous reports whether no octant reaches the given dominance level
+// (e.g. 0.5): the state sits near one or more axis thresholds.
+func (m Membership) Ambiguous(dominance float64) bool {
+	_, v := m.Best()
+	return v < dominance
+}

@@ -1,0 +1,85 @@
+package octant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuzzyClassifySumsToOne(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(d, c, s float64) bool {
+		st := State{
+			Dynamics:   math.Abs(d) / (1 + math.Abs(d)),
+			CommRatio:  math.Abs(c),
+			Dispersion: math.Abs(s) / (1 + math.Abs(s)),
+		}
+		m := FuzzyClassify(st, th, 0.25)
+		var sum float64
+		for o := I; o <= VIII; o++ {
+			if m[o] < 0 || m[o] > 1 {
+				return false
+			}
+			sum += m[o]
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzyAgreesWithCrispFarFromThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	// States far from every threshold: fuzzy best == crisp classification
+	// with dominant membership.
+	cases := []State{
+		{Dynamics: 0.01, CommRatio: 0.1, Dispersion: 0.02},
+		{Dynamics: 0.9, CommRatio: 1.5, Dispersion: 0.9},
+		{Dynamics: 0.01, CommRatio: 1.5, Dispersion: 0.02},
+		{Dynamics: 0.9, CommRatio: 0.1, Dispersion: 0.9},
+	}
+	for _, s := range cases {
+		crisp := Classify(s, th)
+		best, v := FuzzyClassify(s, th, 0.25).Best()
+		if best != crisp {
+			t.Errorf("state %+v: fuzzy best %v != crisp %v", s, best, crisp)
+		}
+		if v < 0.5 {
+			t.Errorf("state %+v: clear state has weak membership %.2f", s, v)
+		}
+	}
+}
+
+func TestFuzzyAmbiguousNearThreshold(t *testing.T) {
+	th := DefaultThresholds()
+	// A state exactly on every threshold is maximally ambiguous: all
+	// octants get 1/8.
+	s := State{Dynamics: th.Dynamics, CommRatio: th.CommRatio, Dispersion: th.Dispersion}
+	m := FuzzyClassify(s, th, 0.25)
+	for o := I; o <= VIII; o++ {
+		if math.Abs(m[o]-0.125) > 1e-9 {
+			t.Fatalf("on-threshold membership %v = %g, want 0.125", o, m[o])
+		}
+	}
+	if !m.Ambiguous(0.5) {
+		t.Error("on-threshold state not flagged ambiguous")
+	}
+	// A clear state is not ambiguous.
+	clear := FuzzyClassify(State{Dynamics: 0.9, CommRatio: 1.5, Dispersion: 0.9}, th, 0.25)
+	if clear.Ambiguous(0.5) {
+		t.Error("clear state flagged ambiguous")
+	}
+}
+
+func TestFuzzySoftnessDefault(t *testing.T) {
+	th := DefaultThresholds()
+	s := State{Dynamics: 0.2, CommRatio: 0.6, Dispersion: 0.4}
+	a := FuzzyClassify(s, th, 0)
+	b := FuzzyClassify(s, th, 0.25)
+	for o := I; o <= VIII; o++ {
+		if math.Abs(a[o]-b[o]) > 1e-12 {
+			t.Fatal("softness default != 0.25")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package octant
+
+// Trajectory analysis. The paper observes that applications "may start in
+// one octant, then, as solution progresses, migrate to others"; transition
+// statistics over a characterized trace show that migration structure and
+// feed policies (e.g. hysteresis: how long does the application dwell in
+// an octant before moving on?).
+
+// Transitions summarizes the octant trajectory of a characterized trace.
+type Transitions struct {
+	// Counts[a][b] is the number of regrid steps at which the application
+	// moved from octant a to octant b (a != b) or stayed (a == b).
+	Counts map[Octant]map[Octant]int
+	// Dwell holds the lengths (in regrid intervals) of every maximal
+	// constant-octant run, in trajectory order.
+	Dwell []int
+}
+
+// AnalyzeTrajectory builds transition statistics from a characterization
+// sequence (as produced by CharacterizeTrace).
+func AnalyzeTrajectory(chars []Characterization) Transitions {
+	t := Transitions{Counts: make(map[Octant]map[Octant]int)}
+	if len(chars) == 0 {
+		return t
+	}
+	run := 1
+	for i := 1; i < len(chars); i++ {
+		a, b := chars[i-1].Octant, chars[i].Octant
+		if t.Counts[a] == nil {
+			t.Counts[a] = make(map[Octant]int)
+		}
+		t.Counts[a][b]++
+		if a == b {
+			run++
+		} else {
+			t.Dwell = append(t.Dwell, run)
+			run = 1
+		}
+	}
+	t.Dwell = append(t.Dwell, run)
+	return t
+}
+
+// Switches returns the number of octant changes in the trajectory.
+func (t Transitions) Switches() int {
+	n := 0
+	for a, row := range t.Counts {
+		for b, c := range row {
+			if a != b {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// MeanDwell returns the average number of regrid intervals spent in an
+// octant before switching (0 for an empty trajectory).
+func (t Transitions) MeanDwell() float64 {
+	if len(t.Dwell) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range t.Dwell {
+		sum += d
+	}
+	return float64(sum) / float64(len(t.Dwell))
+}

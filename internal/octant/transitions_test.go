@@ -1,0 +1,77 @@
+package octant
+
+import (
+	"testing"
+)
+
+func charsOf(octs ...Octant) []Characterization {
+	out := make([]Characterization, len(octs))
+	for i, o := range octs {
+		out[i] = Characterization{Index: i, Octant: o}
+	}
+	return out
+}
+
+func TestAnalyzeTrajectoryBasics(t *testing.T) {
+	tr := AnalyzeTrajectory(charsOf(I, I, II, II, II, I))
+	if tr.Counts[I][I] != 1 || tr.Counts[I][II] != 1 || tr.Counts[II][II] != 2 || tr.Counts[II][I] != 1 {
+		t.Fatalf("counts = %v", tr.Counts)
+	}
+	if tr.Switches() != 2 {
+		t.Fatalf("switches = %d", tr.Switches())
+	}
+	// Dwell runs: [I I]=2, [II II II]=3, [I]=1.
+	want := []int{2, 3, 1}
+	if len(tr.Dwell) != len(want) {
+		t.Fatalf("dwell = %v", tr.Dwell)
+	}
+	for i := range want {
+		if tr.Dwell[i] != want[i] {
+			t.Fatalf("dwell = %v, want %v", tr.Dwell, want)
+		}
+	}
+	if got := tr.MeanDwell(); got != 2 {
+		t.Fatalf("mean dwell = %g", got)
+	}
+}
+
+func TestAnalyzeTrajectoryDegenerate(t *testing.T) {
+	empty := AnalyzeTrajectory(nil)
+	if empty.Switches() != 0 || empty.MeanDwell() != 0 {
+		t.Fatal("empty trajectory not zero")
+	}
+	single := AnalyzeTrajectory(charsOf(V))
+	if single.Switches() != 0 || single.MeanDwell() != 1 {
+		t.Fatalf("single-entry trajectory: %+v", single)
+	}
+	constant := AnalyzeTrajectory(charsOf(III, III, III, III))
+	if constant.Switches() != 0 || constant.MeanDwell() != 4 {
+		t.Fatalf("constant trajectory: %+v", constant)
+	}
+}
+
+func TestTrajectoryConsistencyInvariant(t *testing.T) {
+	// Total transition count equals len-1, and switches+1 equals the
+	// number of dwell runs — for any trajectory.
+	seqs := [][]Octant{
+		{I, II, III, IV, V, VI, VII, VIII},
+		{I, I, I, II, II, I, I, VIII},
+		{IV},
+		{VII, VII},
+	}
+	for _, seq := range seqs {
+		tr := AnalyzeTrajectory(charsOf(seq...))
+		total := 0
+		for _, row := range tr.Counts {
+			for _, c := range row {
+				total += c
+			}
+		}
+		if total != len(seq)-1 && !(len(seq) == 1 && total == 0) {
+			t.Fatalf("seq %v: transitions %d", seq, total)
+		}
+		if got := tr.Switches() + 1; got != len(tr.Dwell) {
+			t.Fatalf("seq %v: switches+1 = %d, dwell runs = %d", seq, got, len(tr.Dwell))
+		}
+	}
+}

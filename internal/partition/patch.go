@@ -1,0 +1,49 @@
+package partition
+
+import (
+	"sort"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// PatchGreedy is a patch-based partitioner (§4.4 mentions "a suite of
+// available patch and domain based partitioners"): whole hierarchy boxes
+// are assigned as units — never split — to the least-loaded processor in
+// decreasing weight order (LPT scheduling). Patch-based partitioning
+// preserves box integrity (no partitioning-induced fragmentation at all,
+// Overhead = 1) at the cost of load balance when patches are few or
+// uneven, and of communication locality, since assignment ignores
+// geometry.
+type PatchGreedy struct{}
+
+// Name implements Partitioner.
+func (PatchGreedy) Name() string { return "PatchGreedy" }
+
+// Partition implements Partitioner.
+func (PatchGreedy) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
+	if err := checkArgs(h, nprocs); err != nil {
+		return nil, err
+	}
+	units := blockUnits(h, wm, 0) // patch granularity: whole boxes
+	// LPT: heaviest first onto the least-loaded processor.
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return units[order[a]].Weight > units[order[b]].Weight })
+	load := make([]float64, nprocs)
+	owner := make([]int, len(units))
+	for _, i := range order {
+		best := 0
+		for p := 1; p < nprocs; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		owner[i] = best
+		load[best] += units[i].Weight
+	}
+	return assemble(units, owner, nprocs), nil
+}
+
+var _ Partitioner = PatchGreedy{}

@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+func TestPatchGreedyAssignsWholeBoxes(t *testing.T) {
+	h := testHierarchy(t)
+	a, err := (PatchGreedy{}).Partition(h, samr.UniformWorkModel{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssignment(t, h, a)
+	boxes := 0
+	for _, lb := range h.Levels {
+		boxes += len(lb)
+	}
+	if len(a.Units) != boxes {
+		t.Fatalf("patch partitioner fragmented: %d units for %d boxes", len(a.Units), boxes)
+	}
+	// No partitioning-induced overhead by construction.
+	q := EvalQuality(h, a, nil, nil, 0)
+	if q.Overhead != 1 {
+		t.Fatalf("overhead = %g, want 1", q.Overhead)
+	}
+}
+
+func TestPatchGreedyLPTBalance(t *testing.T) {
+	// LPT on known weights: patches 7,5,4,3,2 on 2 procs -> loads 11/10.
+	h, err := samr.NewHierarchy(samr.MakeBox(21, 1, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 boxes with volumes 7,5,4,3,2 (x2 MIT weight).
+	if err := h.SetLevel(1, []samr.Box{
+		{Lo: samr.Point{0, 0, 0}, Hi: samr.Point{7, 1, 1}},
+		{Lo: samr.Point{7, 0, 0}, Hi: samr.Point{12, 1, 1}},
+		{Lo: samr.Point{12, 0, 0}, Hi: samr.Point{16, 1, 1}},
+		{Lo: samr.Point{16, 0, 0}, Hi: samr.Point{19, 1, 1}},
+		{Lo: samr.Point{19, 0, 0}, Hi: samr.Point{21, 1, 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := (PatchGreedy{}).Partition(h, samr.UniformWorkModel{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssignment(t, h, a)
+	// Weights incl. level 0 (21) and level-1 x2: 14,10,8,6,4.
+	// LPT: 21|14 -> 21,14; 10->p1(24); 8->p0(29); 6->p1(30); 4->p0(33)...
+	work := a.Work()
+	if work[0]+work[1] != 63 {
+		t.Fatalf("total work = %v", work)
+	}
+	if a.Imbalance() > 10 {
+		t.Fatalf("LPT imbalance = %.1f%%", a.Imbalance())
+	}
+}
+
+func TestPatchGreedyVsDomainBasedComm(t *testing.T) {
+	// Patch-based assignment ignores geometry; the domain-based SFC
+	// partitioner must produce no more messages per unit.
+	h := testHierarchy(t)
+	wm := samr.UniformWorkModel{}
+	patch, err := (PatchGreedy{}).Partition(h, wm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := patch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if patch.SplitCost != 1 {
+		t.Fatalf("split cost = %g", patch.SplitCost)
+	}
+}

@@ -1,0 +1,336 @@
+package partition
+
+import (
+	"sort"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// Quality is the five-component metric the paper defines (§4.1) to
+// characterize a PAC (partitioner, application, computer system) tuple:
+// "Communication requirements, Load imbalance, Amount of data migration,
+// Partitioning time, and Partitioning induced overheads."
+type Quality struct {
+	// CommVolume is the number of cell faces that cross processor
+	// boundaries (intra-level ghost exchange) plus the weighted
+	// inter-level transfer volume — the per-step communication requirement.
+	CommVolume float64
+	// CommMessages is the number of message events per coarse step:
+	// distinct cross-processor unit-pair adjacencies, each weighted by how
+	// often its level exchanges ghosts per coarse step (Ratio^level under
+	// MIT sub-cycling). Coarse-granularity partitioners (pBD-ISP) win
+	// here, which is how they "reduce communication overheads" on
+	// latency-bound networks.
+	CommMessages float64
+	// Imbalance is the percentage load imbalance, 100*(max-avg)/avg.
+	Imbalance float64
+	// Migration is the fraction of co-resident grid data whose owner
+	// changed relative to the previous assignment (0 when no previous
+	// assignment is given).
+	Migration float64
+	// PartitionTime is how long the partitioner ran.
+	PartitionTime time.Duration
+	// Overhead is the fragmentation the partitioner induced: units emitted
+	// per hierarchy box.
+	Overhead float64
+}
+
+// interLevelWeight scales inter-level prolongation/restriction transfers
+// relative to per-step ghost exchange: level transfers happen once per
+// sub-cycle rather than per ghost-fill.
+const interLevelWeight = 0.25
+
+// EvalQuality computes the full PAC metric for an assignment. prev and
+// prevH may be nil when there is no previous partitioning (migration is 0).
+func EvalQuality(h *samr.Hierarchy, a *Assignment, prevH *samr.Hierarchy, prev *Assignment, elapsed time.Duration) Quality {
+	comm := Communication(h, a)
+	q := Quality{
+		CommVolume:    comm.Volume,
+		CommMessages:  comm.Messages,
+		Imbalance:     a.Imbalance(),
+		PartitionTime: elapsed,
+	}
+	if prev != nil && prevH != nil {
+		q.Migration = MigrationFraction(prevH, prev, h, a)
+	}
+	boxes := 0
+	for _, lb := range h.Levels {
+		boxes += len(lb)
+	}
+	if boxes > 0 {
+		q.Overhead = float64(len(a.Units)) / float64(boxes)
+	}
+	return q
+}
+
+// levelRaster is a dense owner map over the bounding box of one level's
+// units; cells outside every unit hold -1.
+type levelRaster struct {
+	box   samr.Box
+	nx    int
+	nxy   int
+	owner []int32
+}
+
+func newLevelRaster(boxes []samr.Box, values []int32) *levelRaster {
+	var bb samr.Box
+	for _, b := range boxes {
+		bb = bb.Bound(b)
+	}
+	if bb.Empty() {
+		return nil
+	}
+	r := &levelRaster{
+		box:   bb,
+		nx:    bb.Dx(0),
+		nxy:   bb.Dx(0) * bb.Dx(1),
+		owner: make([]int32, bb.Volume()),
+	}
+	for i := range r.owner {
+		r.owner[i] = -1
+	}
+	for i, b := range boxes {
+		r.paint(b, values[i])
+	}
+	return r
+}
+
+func (r *levelRaster) paint(b samr.Box, owner int32) {
+	for z := b.Lo[2]; z < b.Hi[2]; z++ {
+		for y := b.Lo[1]; y < b.Hi[1]; y++ {
+			base := (z-r.box.Lo[2])*r.nxy + (y-r.box.Lo[1])*r.nx - r.box.Lo[0]
+			for x := b.Lo[0]; x < b.Hi[0]; x++ {
+				r.owner[base+x] = owner
+			}
+		}
+	}
+}
+
+// at returns the owner of the cell at p, or -1 when p is outside the
+// raster or unowned.
+func (r *levelRaster) at(p samr.Point) int32 {
+	if !r.box.Contains(p) {
+		return -1
+	}
+	return r.owner[(p[2]-r.box.Lo[2])*r.nxy+(p[1]-r.box.Lo[1])*r.nx+(p[0]-r.box.Lo[0])]
+}
+
+// rasters builds one owner raster per level of the assignment.
+func rasters(a *Assignment) map[int]*levelRaster {
+	return buildRasters(a, func(i int) int32 { return int32(a.Owner[i]) })
+}
+
+// unitRasters builds one unit-index raster per level of the assignment.
+func unitRasters(a *Assignment) map[int]*levelRaster {
+	return buildRasters(a, func(i int) int32 { return int32(i) })
+}
+
+func buildRasters(a *Assignment, value func(i int) int32) map[int]*levelRaster {
+	perLevel := map[int][]int{}
+	for i, u := range a.Units {
+		perLevel[u.Level] = append(perLevel[u.Level], i)
+	}
+	out := map[int]*levelRaster{}
+	for l, ids := range perLevel {
+		boxes := make([]samr.Box, len(ids))
+		values := make([]int32, len(ids))
+		for k, i := range ids {
+			boxes[k] = a.Units[i].Box
+			values[k] = value(i)
+		}
+		if r := newLevelRaster(boxes, values); r != nil {
+			out[l] = r
+		}
+	}
+	return out
+}
+
+// CommStats aggregates an assignment's communication requirement.
+type CommStats struct {
+	// Volume is the per-coarse-step ghost-exchange volume in cell faces:
+	// faces joining cells on different processors, weighted by Ratio^level
+	// (a level-l boundary is exchanged on every one of its Ratio^l MIT
+	// sub-steps), plus interLevelWeight times the weighted volume of fine
+	// cells whose parent coarse cell lives on a different processor.
+	Volume float64
+	// Messages counts message events per coarse step: distinct unit pairs
+	// that are face-adjacent (or in a fine/coarse parent relation) and
+	// owned by different processors, weighted by the same per-level
+	// exchange frequency.
+	Messages float64
+	// PerProcVolume[p] is processor p's share of Volume (each face or
+	// transfer touches both endpoint processors).
+	PerProcVolume []float64
+	// PerProcMessages[p] is processor p's share of Messages.
+	PerProcMessages []float64
+}
+
+// UnitPair is one cross-processor adjacency: the two units exchange ghost
+// data every step.
+type UnitPair struct {
+	// U1 and U2 index Assignment.Units; Owner[U1] != Owner[U2].
+	U1, U2 int
+	// Faces is the unweighted contact area in cell faces (inter-level
+	// parent transfers count their weighted volume).
+	Faces float64
+	// Frequency is the per-coarse-step exchange frequency (Ratio^level).
+	Frequency float64
+}
+
+// Adjacency returns every cross-processor unit pair of the assignment —
+// the message pattern a distributed executor must realize.
+func Adjacency(h *samr.Hierarchy, a *Assignment) []UnitPair {
+	_, pairs := communication(h, a)
+	return pairs
+}
+
+// Communication computes the assignment's communication statistics by
+// rasterizing unit ids per level and sweeping cell faces.
+func Communication(h *samr.Hierarchy, a *Assignment) CommStats {
+	st, _ := communication(h, a)
+	return st
+}
+
+func communication(h *samr.Hierarchy, a *Assignment) (CommStats, []UnitPair) {
+	st := CommStats{
+		PerProcVolume:   make([]float64, a.NProcs),
+		PerProcMessages: make([]float64, a.NProcs),
+	}
+	rs := unitRasters(a)
+	pairIdx := map[uint64]int{}
+	var pairList []UnitPair
+	record := func(u1, u2 int32, vol, freq float64) {
+		o1, o2 := a.Owner[u1], a.Owner[u2]
+		if o1 == o2 {
+			return
+		}
+		wvol := vol * freq
+		st.Volume += wvol
+		st.PerProcVolume[o1] += wvol
+		st.PerProcVolume[o2] += wvol
+		lo, hi := u1, u2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(uint32(hi))
+		i, seen := pairIdx[key]
+		if !seen {
+			pairIdx[key] = len(pairList)
+			pairList = append(pairList, UnitPair{U1: int(lo), U2: int(hi), Frequency: freq})
+			i = len(pairList) - 1
+			st.Messages += freq
+			st.PerProcMessages[o1] += freq
+			st.PerProcMessages[o2] += freq
+		}
+		pairList[i].Faces += vol
+	}
+	// Intra-level ghost faces. A level-l boundary is exchanged on each of
+	// the level's Ratio^l MIT sub-steps per coarse step. Levels are visited
+	// in order so pair enumeration is deterministic.
+	levels := make([]int, 0, len(rs))
+	for l := range rs {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		r := rs[l]
+		freq := 1.0
+		for i := 0; i < l; i++ {
+			freq *= float64(h.Ratio)
+		}
+		b := r.box
+		for z := b.Lo[2]; z < b.Hi[2]; z++ {
+			for y := b.Lo[1]; y < b.Hi[1]; y++ {
+				for x := b.Lo[0]; x < b.Hi[0]; x++ {
+					u := r.at(samr.Point{x, y, z})
+					if u < 0 {
+						continue
+					}
+					for _, n := range [3]samr.Point{{x + 1, y, z}, {x, y + 1, z}, {x, y, z + 1}} {
+						nu := r.at(n)
+						if nu >= 0 && nu != u {
+							record(u, nu, 1, freq)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Inter-level transfers: fine cell vs parent coarse cell, exchanged on
+	// every fine sub-step.
+	for l := 1; l < h.Depth(); l++ {
+		fine, okF := rs[l]
+		coarse, okC := rs[l-1]
+		if !okF || !okC {
+			continue
+		}
+		freq := 1.0
+		for i := 0; i < l; i++ {
+			freq *= float64(h.Ratio)
+		}
+		b := fine.box
+		for z := b.Lo[2]; z < b.Hi[2]; z++ {
+			for y := b.Lo[1]; y < b.Hi[1]; y++ {
+				for x := b.Lo[0]; x < b.Hi[0]; x++ {
+					fu := fine.at(samr.Point{x, y, z})
+					if fu < 0 {
+						continue
+					}
+					cu := coarse.at(samr.Point{x / h.Ratio, y / h.Ratio, z / h.Ratio})
+					if cu >= 0 && cu != fu {
+						record(fu, cu, interLevelWeight, freq)
+					}
+				}
+			}
+		}
+	}
+	return st, pairList
+}
+
+// CommVolume is a convenience wrapper returning the total communication
+// volume and the per-processor shares.
+func CommVolume(h *samr.Hierarchy, a *Assignment) (total float64, perProc []float64) {
+	st := Communication(h, a)
+	return st.Volume, st.PerProcVolume
+}
+
+// MigrationFraction returns the fraction of grid data present in both the
+// previous and the new configuration whose owning processor changed —
+// the paper's "amount of data migration" component. Levels are compared
+// independently; cells that exist only in one configuration (newly refined
+// or de-refined) do not count.
+func MigrationFraction(prevH *samr.Hierarchy, prev *Assignment, h *samr.Hierarchy, a *Assignment) float64 {
+	prevR := rasters(prev)
+	newR := rasters(a)
+	var both, moved int64
+	for l, nr := range newR {
+		pr, ok := prevR[l]
+		if !ok {
+			continue
+		}
+		common, ok := nr.box.Intersect(pr.box)
+		if !ok {
+			continue
+		}
+		for z := common.Lo[2]; z < common.Hi[2]; z++ {
+			for y := common.Lo[1]; y < common.Hi[1]; y++ {
+				for x := common.Lo[0]; x < common.Hi[0]; x++ {
+					p := samr.Point{x, y, z}
+					po, no := pr.at(p), nr.at(p)
+					if po < 0 || no < 0 {
+						continue
+					}
+					both++
+					if po != no {
+						moved++
+					}
+				}
+			}
+		}
+	}
+	if both == 0 {
+		return 0
+	}
+	return float64(moved) / float64(both)
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// blockUnits decomposes every hierarchy box into blocks of at most
+// `side` cells per axis (in level coordinates) and weighs them with the
+// work model. side <= 0 keeps whole hierarchy boxes as units ("patch
+// granularity").
+func blockUnits(h *samr.Hierarchy, wm samr.WorkModel, side int) []Unit {
+	var units []Unit
+	for l, boxes := range h.Levels {
+		for _, b := range boxes {
+			if side <= 0 {
+				units = append(units, Unit{Level: l, Box: b, Weight: wm.BoxWork(h, l, b)})
+				continue
+			}
+			for x := b.Lo[0]; x < b.Hi[0]; x += side {
+				for y := b.Lo[1]; y < b.Hi[1]; y += side {
+					for z := b.Lo[2]; z < b.Hi[2]; z += side {
+						blk := samr.Box{
+							Lo: samr.Point{x, y, z},
+							Hi: samr.Point{
+								minInt(x+side, b.Hi[0]),
+								minInt(y+side, b.Hi[1]),
+								minInt(z+side, b.Hi[2]),
+							},
+						}
+						units = append(units, Unit{Level: l, Box: blk, Weight: wm.BoxWork(h, l, blk)})
+					}
+				}
+			}
+		}
+	}
+	return units
+}
+
+// variableGrainUnits implements the "variable grain geometric multilevel"
+// decomposition of G-MISP: it starts from whole hierarchy boxes and
+// recursively halves any unit heavier than threshold along its longest
+// axis, until the unit is light enough or minSide is reached. Heavy regions
+// end up finely subdivided while light regions stay coarse.
+func variableGrainUnits(h *samr.Hierarchy, wm samr.WorkModel, threshold float64, minSide int) []Unit {
+	if minSide < 1 {
+		minSide = 1
+	}
+	var units []Unit
+	var split func(l int, b samr.Box)
+	split = func(l int, b samr.Box) {
+		w := wm.BoxWork(h, l, b)
+		longest := 0
+		for d := 1; d < 3; d++ {
+			if b.Dx(d) > b.Dx(longest) {
+				longest = d
+			}
+		}
+		if w <= threshold || b.Dx(longest) < 2*minSide {
+			units = append(units, Unit{Level: l, Box: b, Weight: w})
+			return
+		}
+		lo, hi := b.Split(longest, b.Lo[longest]+b.Dx(longest)/2)
+		split(l, lo)
+		split(l, hi)
+	}
+	for l, boxes := range h.Levels {
+		for _, b := range boxes {
+			split(l, b)
+		}
+	}
+	return units
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// granularityFor picks a block side so the decomposition yields roughly
+// targetUnitsPerProc*nprocs units, clamped to [minSide, maxSide]. Fixed
+// granularities behave pathologically when the refined region shrinks (a
+// thin shock sheet at coarse granularity can yield fewer units than
+// processors), so the default granularity of every ISP partitioner adapts
+// to the hierarchy.
+func granularityFor(h *samr.Hierarchy, nprocs, targetUnitsPerProc, minSide, maxSide int) int {
+	var cells int64
+	for l := range h.Levels {
+		cells += h.CellsAtLevel(l)
+	}
+	target := int64(nprocs * targetUnitsPerProc)
+	if target < 1 {
+		target = 1
+	}
+	side := minSide
+	for side < maxSide {
+		next := side + 1
+		perUnit := int64(next) * int64(next) * int64(next)
+		if cells/perUnit < target {
+			break
+		}
+		side = next
+	}
+	return side
+}

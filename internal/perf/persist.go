@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PF persistence. Performance functions are fitted offline from component
+// measurements and then used at runtime by the performance analysis module;
+// persisting them makes the fitted models reusable assets, like the policy
+// base's rules and the template registry's blueprints.
+
+// persistedPF is the envelope wrapping any serializable PF.
+type persistedPF struct {
+	Kind string          `json:"kind"` // "neural", "multi-neural", "poly"
+	Body json.RawMessage `json:"body"`
+}
+
+type neuralBody struct {
+	Label string    `json:"label"`
+	W1    []float64 `json:"w1"`
+	B1    []float64 `json:"b1"`
+	W2    []float64 `json:"w2"`
+	B2    float64   `json:"b2"`
+	XLo   float64   `json:"xLo"`
+	XHi   float64   `json:"xHi"`
+	YLo   float64   `json:"yLo"`
+	YHi   float64   `json:"yHi"`
+}
+
+// MarshalPF serializes a Neural, MultiNeural or Poly performance function.
+func MarshalPF(pf interface{}) ([]byte, error) {
+	switch p := pf.(type) {
+	case *Neural:
+		body, err := json.Marshal(neuralBody{
+			Label: p.Label, W1: p.w1, B1: p.b1, W2: p.w2, B2: p.b2,
+			XLo: p.xLo, XHi: p.xHi, YLo: p.yLo, YHi: p.yHi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(persistedPF{Kind: "neural", Body: body})
+	case *MultiNeural:
+		body, err := json.Marshal(multiNeuralBody{
+			Label: p.Label, Arity: p.arity,
+			W1: p.w1, B1: p.b1, W2: p.w2, B2: p.b2,
+			XLo: p.xLo, XHi: p.xHi, YLo: p.yLo, YHi: p.yHi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(persistedPF{Kind: "multi-neural", Body: body})
+	case Poly:
+		body, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(persistedPF{Kind: "poly", Body: body})
+	case *Poly:
+		return MarshalPF(*p)
+	default:
+		return nil, fmt.Errorf("perf: cannot persist PF of type %T", pf)
+	}
+}
+
+type multiNeuralBody struct {
+	Label string      `json:"label"`
+	Arity int         `json:"arity"`
+	W1    [][]float64 `json:"w1"`
+	B1    []float64   `json:"b1"`
+	W2    []float64   `json:"w2"`
+	B2    float64     `json:"b2"`
+	XLo   []float64   `json:"xLo"`
+	XHi   []float64   `json:"xHi"`
+	YLo   float64     `json:"yLo"`
+	YHi   float64     `json:"yHi"`
+}
+
+// UnmarshalPF restores a PF serialized by MarshalPF. The result is a
+// *Neural, *MultiNeural or Poly.
+func UnmarshalPF(data []byte) (interface{}, error) {
+	var env persistedPF
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	switch env.Kind {
+	case "neural":
+		var b neuralBody
+		if err := json.Unmarshal(env.Body, &b); err != nil {
+			return nil, err
+		}
+		n := &Neural{
+			Label: b.Label,
+			w1:    b.W1, b1: b.B1, w2: b.W2, b2: b.B2,
+			xLo: b.XLo, xHi: b.XHi, yLo: b.YLo, yHi: b.YHi,
+		}
+		if len(n.w1) == 0 || len(n.w1) != len(n.b1) || len(n.w1) != len(n.w2) || n.xHi == n.xLo {
+			return nil, fmt.Errorf("perf: corrupt neural PF")
+		}
+		return n, nil
+	case "multi-neural":
+		var b multiNeuralBody
+		if err := json.Unmarshal(env.Body, &b); err != nil {
+			return nil, err
+		}
+		n := &MultiNeural{
+			Label: b.Label, arity: b.Arity,
+			w1: b.W1, b1: b.B1, w2: b.W2, b2: b.B2,
+			xLo: b.XLo, xHi: b.XHi, yLo: b.YLo, yHi: b.YHi,
+		}
+		if n.arity < 1 || len(n.w1) == 0 || len(n.xLo) != n.arity || len(n.xHi) != n.arity {
+			return nil, fmt.Errorf("perf: corrupt multi-neural PF")
+		}
+		for _, row := range n.w1 {
+			if len(row) != n.arity {
+				return nil, fmt.Errorf("perf: corrupt multi-neural PF weights")
+			}
+		}
+		return n, nil
+	case "poly":
+		var p Poly
+		if err := json.Unmarshal(env.Body, &p); err != nil {
+			return nil, err
+		}
+		if len(p.Coef) == 0 {
+			return nil, fmt.Errorf("perf: corrupt poly PF")
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("perf: unknown PF kind %q", env.Kind)
+	}
+}

@@ -1,0 +1,114 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func trainedNeural(t *testing.T) *Neural {
+	t.Helper()
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = float64(i) * 40
+		ys[i] = 1e-4 + 2e-6*xs[i]
+	}
+	n, err := TrainNeural("pc1", xs, ys, TrainOptions{Seed: 1, Epochs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNeuralPersistRoundTrip(t *testing.T) {
+	n := trainedNeural(t)
+	data, err := MarshalPF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredAny, err := UnmarshalPF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, ok := restoredAny.(*Neural)
+	if !ok {
+		t.Fatalf("restored type %T", restoredAny)
+	}
+	if restored.Name() != "pc1" {
+		t.Fatalf("name = %q", restored.Name())
+	}
+	for _, x := range []float64{100, 555, 1100} {
+		if a, b := n.Eval(x), restored.Eval(x); math.Abs(a-b) > 1e-15 {
+			t.Fatalf("eval(%g): %g vs %g", x, a, b)
+		}
+	}
+}
+
+func TestMultiNeuralPersistRoundTrip(t *testing.T) {
+	xs := [][]float64{{100, 0}, {500, 0.5}, {900, 1}, {300, 0.2}, {700, 0.9}}
+	ys := []float64{1, 2, 3, 1.5, 2.7}
+	n, err := TrainMultiNeural("link", xs, ys, TrainOptions{Seed: 2, Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalPF(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredAny, err := UnmarshalPF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := restoredAny.(*MultiNeural)
+	if restored.Arity() != 2 {
+		t.Fatalf("arity = %d", restored.Arity())
+	}
+	probe := []float64{420, 0.3}
+	if a, b := n.EvalVec(probe), restored.EvalVec(probe); math.Abs(a-b) > 1e-15 {
+		t.Fatalf("eval: %g vs %g", a, b)
+	}
+}
+
+func TestPolyPersistRoundTrip(t *testing.T) {
+	p := Poly{Label: "switch", Coef: []float64{1e-4, 2e-6, 3e-9}}
+	data, err := MarshalPF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredAny, err := UnmarshalPF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := restoredAny.(Poly)
+	if restored.Eval(500) != p.Eval(500) {
+		t.Fatal("poly eval differs after round trip")
+	}
+	// Pointer form marshals too.
+	if _, err := MarshalPF(&p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	if _, err := MarshalPF(42); err == nil {
+		t.Error("non-PF accepted")
+	}
+	if _, err := UnmarshalPF([]byte(`{`)); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := UnmarshalPF([]byte(`{"kind":"alien","body":{}}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := UnmarshalPF([]byte(`{"kind":"neural","body":{"w1":[],"b1":[],"w2":[]}}`)); err == nil {
+		t.Error("corrupt neural accepted")
+	}
+	if _, err := UnmarshalPF([]byte(`{"kind":"multi-neural","body":{"arity":0}}`)); err == nil {
+		t.Error("corrupt multi-neural accepted")
+	}
+	if _, err := UnmarshalPF([]byte(`{"kind":"multi-neural","body":{"arity":2,"w1":[[1]],"xLo":[0,0],"xHi":[1,1]}}`)); err == nil {
+		t.Error("ragged multi-neural weights accepted")
+	}
+	if _, err := UnmarshalPF([]byte(`{"kind":"poly","body":{"Coef":[]}}`)); err == nil {
+		t.Error("empty poly accepted")
+	}
+}

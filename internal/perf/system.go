@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"math/rand"
+)
+
+// This file simulates the example networked system of §3.2: two computers
+// (PC1, PC2) connected through an Ethernet switch. PC1 multiplies matrices
+// and ships the result through the switch to PC2, which repeats the
+// computation. The paper measures each component's task processing time
+// versus data size, fits a PF per component with a neural network, sums the
+// PFs (Eq. 2), and compares the composed prediction against measured
+// end-to-end delay (Table 1).
+
+// Component is a measurable system component with a ground-truth timing
+// law and measurement noise.
+type Component struct {
+	// Name identifies the component ("PC1", "switch", "PC2").
+	Name string
+	// base and perByte define the true delay base + perByte*D (+ a mild
+	// quadratic term curve*D^2) in seconds for data size D in bytes.
+	base, perByte, curve float64
+	// noise is the multiplicative measurement noise level (e.g. 0.02).
+	noise float64
+}
+
+// True returns the component's ground-truth delay for data size d bytes.
+func (c Component) True(d float64) float64 {
+	return c.base + c.perByte*d + c.curve*d*d
+}
+
+// Measure returns one noisy measurement of the component's delay.
+func (c Component) Measure(d float64, rng *rand.Rand) float64 {
+	return c.True(d) * (1 + c.noise*rng.NormFloat64())
+}
+
+// ExampleSystem returns the paper's PC1 -> switch -> PC2 pipeline with
+// timing constants chosen so the end-to-end delay matches Table 1's
+// magnitudes: about 8.3e-4 s at 200 bytes rising to about 2.2e-3 s at
+// 1000 bytes.
+func ExampleSystem(noise float64) []Component {
+	if noise <= 0 {
+		noise = 0.02
+	}
+	return []Component{
+		{Name: "PC1", base: 2.0e-4, perByte: 0.70e-6, curve: 1.0e-11, noise: noise},
+		{Name: "switch", base: 0.8e-4, perByte: 0.35e-6, curve: 0, noise: noise},
+		{Name: "PC2", base: 2.0e-4, perByte: 0.70e-6, curve: 1.0e-11, noise: noise},
+	}
+}
+
+// MeasureEndToEnd returns one noisy measurement of the whole pipeline's
+// delay for data size d.
+func MeasureEndToEnd(comps []Component, d float64, rng *rand.Rand) float64 {
+	var sum float64
+	for _, c := range comps {
+		sum += c.Measure(d, rng)
+	}
+	return sum
+}
+
+// FitComponentPFs measures every component at the given data sizes and
+// fits one neural PF per component, as §3.2 prescribes. The returned
+// Serial PF is the composed end-to-end model of Eq. 2.
+func FitComponentPFs(comps []Component, sizes []float64, samplesPerSize int, seed int64) (Serial, []PF, error) {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]PF, 0, len(comps))
+	for ci, c := range comps {
+		var xs, ys []float64
+		for _, d := range sizes {
+			for s := 0; s < samplesPerSize; s++ {
+				xs = append(xs, d)
+				ys = append(ys, c.Measure(d, rng))
+			}
+		}
+		pf, err := TrainNeural(c.Name, xs, ys, TrainOptions{Seed: seed + int64(ci)})
+		if err != nil {
+			return Serial{}, nil, err
+		}
+		parts = append(parts, pf)
+	}
+	return Serial{Label: "end-to-end", Parts: parts}, parts, nil
+}

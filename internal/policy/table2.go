@@ -1,0 +1,86 @@
+package policy
+
+import "fmt"
+
+// Table2 returns the paper's Table 2 as a policy base: the recommended
+// mapping of application state octants onto partitioning schemes. Where an
+// octant lists several schemes, the first listed gets the highest priority
+// (this is the preference the RM3D characterization of Table 3 exercises).
+//
+//	Octant I    -> pBD-ISP, G-MISP+SP
+//	Octant II   -> pBD-ISP
+//	Octant III  -> G-MISP+SP, SP-ISP
+//	Octant IV   -> G-MISP+SP, SP-ISP, ISP
+//	Octant V    -> pBD-ISP
+//	Octant VI   -> pBD-ISP
+//	Octant VII  -> G-MISP+SP
+//	Octant VIII -> G-MISP+SP, ISP
+func Table2() *Base {
+	recs := Table2Recommendations()
+	b := NewBase()
+	for _, octName := range octantOrder {
+		for rank, scheme := range recs[octName] {
+			rule := Rule{
+				ID:       fmt.Sprintf("table2-%s-%s", octName, scheme),
+				Priority: 100 - rank,
+				When:     map[string]Match{"octant": {Equals: octName}},
+				Then:     Action{Kind: "select-partitioner", Target: scheme},
+			}
+			if err := b.Add(rule); err != nil {
+				panic(err) // static table; cannot fail
+			}
+		}
+	}
+	// Illustrative non-partitioning policies from §3.5, so the base also
+	// exercises mixed-kind queries ("If on a networked cluster and AMR
+	// application is in octant VI use latency-tolerant communication").
+	for _, octName := range []string{"I", "II", "V", "VI"} {
+		mustAdd(b, Rule{
+			ID:       "comm-latency-tolerant-" + octName,
+			Priority: 50,
+			When: map[string]Match{
+				"octant":  {Equals: octName},
+				"network": {Equals: "cluster"},
+			},
+			Then: Action{Kind: "communication-mechanism", Target: "latency-tolerant"},
+		})
+	}
+	mustAdd(b, Rule{
+		ID:       "refinement-cache-bound",
+		Priority: 10,
+		When: map[string]Match{
+			"cache-kb": {Max: f(512)},
+		},
+		Then: Action{
+			Kind:   "configure-refinement",
+			Target: "max-box-volume",
+			Params: map[string]float64{"cells": 16384},
+		},
+	})
+	return b
+}
+
+var octantOrder = []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII"}
+
+// Table2Recommendations returns the raw octant -> schemes table, first
+// listed first.
+func Table2Recommendations() map[string][]string {
+	return map[string][]string{
+		"I":    {"pBD-ISP", "G-MISP+SP"},
+		"II":   {"pBD-ISP"},
+		"III":  {"G-MISP+SP", "SP-ISP"},
+		"IV":   {"G-MISP+SP", "SP-ISP", "ISP"},
+		"V":    {"pBD-ISP"},
+		"VI":   {"pBD-ISP"},
+		"VII":  {"G-MISP+SP"},
+		"VIII": {"G-MISP+SP", "ISP"},
+	}
+}
+
+func mustAdd(b *Base, r Rule) {
+	if err := b.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+func f(v float64) *float64 { return &v }

@@ -1,0 +1,59 @@
+package rm3d
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// Profile renders an x-y projection of a snapshot's refinement structure as
+// ASCII art, reproducing the content of the paper's Figure 3 ("RM3D profile
+// views at sampled time-steps"): each column of the base grid is marked with
+// the deepest refinement level present anywhere along z.
+//
+//	'.' unrefined   '+' level 1   '#' level 2 or deeper
+func Profile(s samr.Snapshot) string {
+	h := s.H
+	nx, ny := h.Domain.Dx(0), h.Domain.Dx(1)
+	depth := make([][]int, ny)
+	for y := range depth {
+		depth[y] = make([]int, nx)
+	}
+	for l := 1; l < h.Depth(); l++ {
+		for _, b := range h.Levels[l] {
+			coarse := b
+			for i := 0; i < l; i++ {
+				coarse = coarse.Coarsen(h.Ratio)
+			}
+			clipped, ok := coarse.Intersect(h.Domain)
+			if !ok {
+				continue
+			}
+			for y := clipped.Lo[1]; y < clipped.Hi[1]; y++ {
+				for x := clipped.Lo[0]; x < clipped.Hi[0]; x++ {
+					if l > depth[y][x] {
+						depth[y][x] = l
+					}
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%d (coarse step %d): levels=%d cells=%d eff=%.2f%%\n",
+		s.Index, s.CoarseStep, h.Depth(), h.TotalCells(), h.AMREfficiency())
+	for y := ny - 1; y >= 0; y-- {
+		for x := 0; x < nx; x++ {
+			switch {
+			case depth[y][x] >= 2:
+				sb.WriteByte('#')
+			case depth[y][x] == 1:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,226 @@
+package samr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := MakeBox(128, 32, 32)
+	if b.Volume() != 128*32*32 {
+		t.Fatalf("volume = %d", b.Volume())
+	}
+	if b.Empty() {
+		t.Fatal("non-empty box reported empty")
+	}
+	if got := b.Size(); got != (Point{128, 32, 32}) {
+		t.Fatalf("size = %v", got)
+	}
+	if !b.Contains(Point{0, 0, 0}) || !b.Contains(Point{127, 31, 31}) {
+		t.Fatal("corner containment failed")
+	}
+	if b.Contains(Point{128, 0, 0}) || b.Contains(Point{-1, 0, 0}) {
+		t.Fatal("half-open bound violated")
+	}
+	if (Box{Lo: Point{5, 5, 5}, Hi: Point{5, 6, 6}}).Volume() != 0 {
+		t.Fatal("degenerate box has nonzero volume")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := Box{Lo: Point{0, 0, 0}, Hi: Point{10, 10, 10}}
+	b := Box{Lo: Point{5, 5, 5}, Hi: Point{15, 15, 15}}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Box{Lo: Point{5, 5, 5}, Hi: Point{10, 10, 10}}) {
+		t.Fatalf("intersect = %v ok=%v", got, ok)
+	}
+	c := Box{Lo: Point{10, 0, 0}, Hi: Point{20, 10, 10}}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("abutting boxes should not intersect")
+	}
+	if !a.Overlaps(b) || a.Overlaps(c) {
+		t.Fatal("Overlaps mismatch")
+	}
+}
+
+func TestBoxRefineCoarsenRoundTrip(t *testing.T) {
+	f := func(lo0, lo1, lo2 uint8, d0, d1, d2 uint8) bool {
+		b := Box{
+			Lo: Point{int(lo0), int(lo1), int(lo2)},
+			Hi: Point{int(lo0) + int(d0%32) + 1, int(lo1) + int(d1%32) + 1, int(lo2) + int(d2%32) + 1},
+		}
+		r := b.Refine(2).Coarsen(2)
+		return r == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxCoarsenCovers(t *testing.T) {
+	// Coarsen must round outward: the refined coarse box covers the original.
+	f := func(lo0, lo1, lo2 int8, d0, d1, d2 uint8) bool {
+		b := Box{
+			Lo: Point{int(lo0), int(lo1), int(lo2)},
+			Hi: Point{int(lo0) + int(d0%32) + 1, int(lo1) + int(d1%32) + 1, int(lo2) + int(d2%32) + 1},
+		}
+		c := b.Coarsen(2).Refine(2)
+		return c.ContainsBox(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxSplit(t *testing.T) {
+	b := MakeBox(10, 4, 4)
+	lo, hi := b.Split(0, 6)
+	if lo.Volume()+hi.Volume() != b.Volume() {
+		t.Fatal("split lost volume")
+	}
+	if lo.Overlaps(hi) {
+		t.Fatal("split halves overlap")
+	}
+	if lo.Hi[0] != 6 || hi.Lo[0] != 6 {
+		t.Fatalf("split planes wrong: %v %v", lo, hi)
+	}
+}
+
+func TestBoxSplitPanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("split at boundary did not panic")
+		}
+	}()
+	MakeBox(4, 4, 4).Split(0, 0)
+}
+
+func TestSharedFaceArea(t *testing.T) {
+	a := MakeBox(4, 4, 4)
+	cases := []struct {
+		name string
+		b    Box
+		want int64
+	}{
+		{"abut-x", Box{Lo: Point{4, 0, 0}, Hi: Point{8, 4, 4}}, 16},
+		{"abut-x-partial", Box{Lo: Point{4, 2, 2}, Hi: Point{8, 6, 6}}, 4},
+		{"separated", Box{Lo: Point{5, 0, 0}, Hi: Point{8, 4, 4}}, 0},
+		{"edge-contact", Box{Lo: Point{4, 4, 0}, Hi: Point{8, 8, 4}}, 0},
+		{"corner-contact", Box{Lo: Point{4, 4, 4}, Hi: Point{8, 8, 8}}, 0},
+		{"overlap", Box{Lo: Point{2, 0, 0}, Hi: Point{6, 4, 4}}, 0},
+		{"abut-y", Box{Lo: Point{0, 4, 0}, Hi: Point{4, 6, 4}}, 16},
+		{"abut-z", Box{Lo: Point{1, 1, 4}, Hi: Point{3, 3, 6}}, 4},
+	}
+	for _, c := range cases {
+		if got := a.SharedFaceArea(c.b); got != c.want {
+			t.Errorf("%s: SharedFaceArea = %d, want %d", c.name, got, c.want)
+		}
+		if got := c.b.SharedFaceArea(a); got != c.want {
+			t.Errorf("%s (sym): SharedFaceArea = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSurfaceArea(t *testing.T) {
+	if got := MakeBox(2, 3, 4).SurfaceArea(); got != 2*(2*3+3*4+4*2) {
+		t.Fatalf("surface area = %d", got)
+	}
+	if got := (Box{}).SurfaceArea(); got != 0 {
+		t.Fatalf("empty surface area = %d", got)
+	}
+}
+
+func TestBoxSubtract(t *testing.T) {
+	a := MakeBox(10, 10, 10)
+	hole := Box{Lo: Point{3, 3, 3}, Hi: Point{7, 7, 7}}
+	parts := a.Subtract(hole)
+	var vol int64
+	for i, p := range parts {
+		vol += p.Volume()
+		if p.Overlaps(hole) {
+			t.Fatalf("part %v overlaps subtracted box", p)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if p.Overlaps(parts[j]) {
+				t.Fatalf("parts %v and %v overlap", p, parts[j])
+			}
+		}
+	}
+	if vol != a.Volume()-hole.Volume() {
+		t.Fatalf("subtract volume = %d, want %d", vol, a.Volume()-hole.Volume())
+	}
+	// Disjoint subtrahend leaves the box unchanged.
+	if parts := a.Subtract(Box{Lo: Point{20, 20, 20}, Hi: Point{30, 30, 30}}); len(parts) != 1 || parts[0] != a {
+		t.Fatal("subtracting disjoint box changed operand")
+	}
+	// Subtracting a cover leaves nothing.
+	if parts := hole.Subtract(a); len(parts) != 0 {
+		t.Fatalf("subtracting cover left %v", parts)
+	}
+}
+
+func TestBoxSubtractProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randBox := func() Box {
+		lo := Point{rng.Intn(16), rng.Intn(16), rng.Intn(16)}
+		return Box{Lo: lo, Hi: Point{lo[0] + 1 + rng.Intn(10), lo[1] + 1 + rng.Intn(10), lo[2] + 1 + rng.Intn(10)}}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randBox(), randBox()
+		parts := a.Subtract(b)
+		var vol int64
+		for _, p := range parts {
+			vol += p.Volume()
+			if p.Overlaps(b) {
+				t.Fatalf("iter %d: part %v overlaps %v", i, p, b)
+			}
+			if !a.ContainsBox(p) {
+				t.Fatalf("iter %d: part %v escapes %v", i, p, a)
+			}
+		}
+		inter, _ := a.Intersect(b)
+		if vol != a.Volume()-inter.Volume() {
+			t.Fatalf("iter %d: volume %d != %d", i, vol, a.Volume()-inter.Volume())
+		}
+	}
+}
+
+func TestBoxBound(t *testing.T) {
+	a := MakeBox(2, 2, 2)
+	b := Box{Lo: Point{5, 5, 5}, Hi: Point{6, 6, 6}}
+	got := a.Bound(b)
+	if got != (Box{Lo: Point{0, 0, 0}, Hi: Point{6, 6, 6}}) {
+		t.Fatalf("bound = %v", got)
+	}
+	if got := (Box{}).Bound(a); got != a {
+		t.Fatalf("bound with empty = %v", got)
+	}
+	if got := a.Bound(Box{}); got != a {
+		t.Fatalf("bound with empty rhs = %v", got)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {8, 2, 4, 4}, {-8, 2, -4, -4}, {0, 2, 0, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestBoxGrowShift(t *testing.T) {
+	b := Box{Lo: Point{2, 2, 2}, Hi: Point{4, 4, 4}}
+	if got := b.Grow(1); got != (Box{Lo: Point{1, 1, 1}, Hi: Point{5, 5, 5}}) {
+		t.Fatalf("grow = %v", got)
+	}
+	if got := b.Shift(Point{1, -1, 0}); got != (Box{Lo: Point{3, 1, 2}, Hi: Point{5, 3, 4}}) {
+		t.Fatalf("shift = %v", got)
+	}
+}

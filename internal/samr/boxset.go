@@ -1,0 +1,209 @@
+package samr
+
+import (
+	"sort"
+	"strings"
+)
+
+// BoxSet is a region of index space represented as a set of pairwise
+// disjoint boxes — the region calculus at the heart of every SAMR
+// framework (ghost-region computation, proper-nesting checks, coarse-fine
+// interface extraction all reduce to set algebra on box unions).
+//
+// The zero value is the empty set. All operations preserve the disjointness
+// invariant and return new sets; BoxSet values are immutable once built.
+type BoxSet struct {
+	boxes []Box
+}
+
+// NewBoxSet builds a set from arbitrary (possibly overlapping) boxes.
+func NewBoxSet(boxes ...Box) BoxSet {
+	var s BoxSet
+	for _, b := range boxes {
+		s = s.Union(BoxSet{boxes: normalizeOne(b)})
+	}
+	return s
+}
+
+func normalizeOne(b Box) []Box {
+	if b.Empty() {
+		return nil
+	}
+	return []Box{b}
+}
+
+// Boxes returns the set's disjoint boxes, sorted for determinism.
+func (s BoxSet) Boxes() []Box {
+	out := append([]Box(nil), s.boxes...)
+	sort.Slice(out, func(i, j int) bool { return lessBox(out[i], out[j]) })
+	return out
+}
+
+func lessBox(a, b Box) bool {
+	for d := 0; d < 3; d++ {
+		if a.Lo[d] != b.Lo[d] {
+			return a.Lo[d] < b.Lo[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if a.Hi[d] != b.Hi[d] {
+			return a.Hi[d] < b.Hi[d]
+		}
+	}
+	return false
+}
+
+// Empty reports whether the set covers no cells.
+func (s BoxSet) Empty() bool { return len(s.boxes) == 0 }
+
+// Volume returns the number of covered cells.
+func (s BoxSet) Volume() int64 {
+	var v int64
+	for _, b := range s.boxes {
+		v += b.Volume()
+	}
+	return v
+}
+
+// Contains reports whether the point lies in the set.
+func (s BoxSet) Contains(p Point) bool {
+	for _, b := range s.boxes {
+		if b.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the set covering cells of either operand.
+func (s BoxSet) Union(o BoxSet) BoxSet {
+	// Add o's boxes minus what s already covers: keeps disjointness.
+	out := append([]Box(nil), s.boxes...)
+	for _, b := range o.boxes {
+		pieces := []Box{b}
+		for _, existing := range s.boxes {
+			var next []Box
+			for _, p := range pieces {
+				next = append(next, p.Subtract(existing)...)
+			}
+			pieces = next
+			if len(pieces) == 0 {
+				break
+			}
+		}
+		out = append(out, pieces...)
+	}
+	return BoxSet{boxes: out}
+}
+
+// Intersect returns the set covering cells of both operands.
+func (s BoxSet) Intersect(o BoxSet) BoxSet {
+	var out []Box
+	for _, a := range s.boxes {
+		for _, b := range o.boxes {
+			if inter, ok := a.Intersect(b); ok {
+				out = append(out, inter)
+			}
+		}
+	}
+	return BoxSet{boxes: out}
+}
+
+// Subtract returns the set covering cells of s not in o.
+func (s BoxSet) Subtract(o BoxSet) BoxSet {
+	var out []Box
+	for _, a := range s.boxes {
+		pieces := []Box{a}
+		for _, b := range o.boxes {
+			var next []Box
+			for _, p := range pieces {
+				next = append(next, p.Subtract(b)...)
+			}
+			pieces = next
+			if len(pieces) == 0 {
+				break
+			}
+		}
+		out = append(out, pieces...)
+	}
+	return BoxSet{boxes: out}
+}
+
+// Equal reports whether both sets cover exactly the same cells.
+func (s BoxSet) Equal(o BoxSet) bool {
+	return s.Subtract(o).Empty() && o.Subtract(s).Empty()
+}
+
+// Covers reports whether every cell of o lies in s.
+func (s BoxSet) Covers(o BoxSet) bool { return o.Subtract(s).Empty() }
+
+// Grow expands the region by n cells in every direction (the ghost region
+// of width n is Grow(n).Subtract(s)).
+func (s BoxSet) Grow(n int) BoxSet {
+	grown := BoxSet{}
+	for _, b := range s.boxes {
+		grown = grown.Union(NewBoxSet(b.Grow(n)))
+	}
+	return grown
+}
+
+// Refine scales the region into an index space r times finer.
+func (s BoxSet) Refine(r int) BoxSet {
+	out := make([]Box, len(s.boxes))
+	for i, b := range s.boxes {
+		out[i] = b.Refine(r)
+	}
+	return BoxSet{boxes: out} // refinement preserves disjointness
+}
+
+// Coarsen maps the region into an index space r times coarser, rounding
+// outward.
+func (s BoxSet) Coarsen(r int) BoxSet {
+	// Coarsening can create overlaps; rebuild through Union.
+	out := BoxSet{}
+	for _, b := range s.boxes {
+		out = out.Union(NewBoxSet(b.Coarsen(r)))
+	}
+	return out
+}
+
+// Bound returns the smallest single box containing the set (the empty box
+// for the empty set).
+func (s BoxSet) Bound() Box {
+	var bb Box
+	for _, b := range s.boxes {
+		bb = bb.Bound(b)
+	}
+	return bb
+}
+
+// String renders the set's sorted boxes.
+func (s BoxSet) String() string {
+	parts := make([]string, 0, len(s.boxes))
+	for _, b := range s.Boxes() {
+		parts = append(parts, b.String())
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// LevelRegion returns the region covered by one hierarchy level as a set.
+func (h *Hierarchy) LevelRegion(l int) BoxSet {
+	if l < 0 || l >= h.Depth() {
+		return BoxSet{}
+	}
+	// Level boxes are pairwise disjoint by the hierarchy invariant.
+	return BoxSet{boxes: append([]Box(nil), h.Levels[l]...)}
+}
+
+// GhostRegion returns the width-n ghost region of level l: the cells
+// adjacent to the level's boxes (within width n) but not part of them,
+// clipped to the level domain. This is the data exchanged with neighbors
+// and coarser levels each sub-step.
+func (h *Hierarchy) GhostRegion(l, n int) BoxSet {
+	region := h.LevelRegion(l)
+	if region.Empty() || n < 1 {
+		return BoxSet{}
+	}
+	domain := NewBoxSet(h.LevelDomain(l))
+	return region.Grow(n).Subtract(region).Intersect(domain)
+}

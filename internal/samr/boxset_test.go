@@ -1,0 +1,188 @@
+package samr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSet(rng *rand.Rand, n int) BoxSet {
+	boxes := make([]Box, 0, n)
+	for i := 0; i < n; i++ {
+		lo := Point{rng.Intn(12), rng.Intn(12), rng.Intn(12)}
+		boxes = append(boxes, Box{Lo: lo, Hi: Point{
+			lo[0] + 1 + rng.Intn(6), lo[1] + 1 + rng.Intn(6), lo[2] + 1 + rng.Intn(6)}})
+	}
+	return NewBoxSet(boxes...)
+}
+
+// volumeByPoints counts covered cells by brute force over a bounding box.
+func volumeByPoints(s BoxSet) int64 {
+	bb := s.Bound()
+	var v int64
+	for z := bb.Lo[2]; z < bb.Hi[2]; z++ {
+		for y := bb.Lo[1]; y < bb.Hi[1]; y++ {
+			for x := bb.Lo[0]; x < bb.Hi[0]; x++ {
+				if s.Contains(Point{x, y, z}) {
+					v++
+				}
+			}
+		}
+	}
+	return v
+}
+
+func TestBoxSetDisjointnessInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		s := randSet(rng, 1+rng.Intn(5))
+		boxes := s.Boxes()
+		for i := range boxes {
+			for j := i + 1; j < len(boxes); j++ {
+				if boxes[i].Overlaps(boxes[j]) {
+					t.Fatalf("iter %d: boxes %v and %v overlap", iter, boxes[i], boxes[j])
+				}
+			}
+		}
+		// Volume via the set equals volume via point membership.
+		if s.Volume() != volumeByPoints(s) {
+			t.Fatalf("iter %d: volume %d != brute force %d", iter, s.Volume(), volumeByPoints(s))
+		}
+	}
+}
+
+func TestBoxSetAlgebraLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSet(rng, 1+rng.Intn(4))
+		b := randSet(rng, 1+rng.Intn(4))
+		// Inclusion-exclusion: |A|+|B| = |A∪B| + |A∩B|.
+		if a.Volume()+b.Volume() != a.Union(b).Volume()+a.Intersect(b).Volume() {
+			return false
+		}
+		// A = (A\B) ∪ (A∩B), disjointly.
+		if a.Subtract(b).Volume()+a.Intersect(b).Volume() != a.Volume() {
+			return false
+		}
+		// Union is commutative as a point set.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		// Intersection is commutative as a point set.
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		// Subtracting a superset empties the set.
+		if !a.Subtract(a.Union(b)).Empty() {
+			return false
+		}
+		// Covers is consistent with Subtract.
+		if a.Union(b).Covers(a) != true {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxSetRefineCoarsen(t *testing.T) {
+	s := NewBoxSet(MakeBox(4, 4, 4), Box{Lo: Point{8, 0, 0}, Hi: Point{10, 4, 4}})
+	r := s.Refine(2)
+	if r.Volume() != s.Volume()*8 {
+		t.Fatalf("refine volume %d, want %d", r.Volume(), s.Volume()*8)
+	}
+	back := r.Coarsen(2)
+	if !back.Equal(s) {
+		t.Fatalf("coarsen(refine(s)) != s: %v vs %v", back, s)
+	}
+	// Coarsening rounds outward: result covers the original footprint.
+	odd := NewBoxSet(Box{Lo: Point{1, 1, 1}, Hi: Point{3, 3, 3}})
+	c := odd.Coarsen(2)
+	if !c.Refine(2).Covers(odd) {
+		t.Fatal("coarsen does not cover original")
+	}
+}
+
+func TestBoxSetEmptyAndBound(t *testing.T) {
+	var empty BoxSet
+	if !empty.Empty() || empty.Volume() != 0 || empty.Contains(Point{0, 0, 0}) {
+		t.Fatal("zero value not empty")
+	}
+	if !empty.Bound().Empty() {
+		t.Fatal("empty bound not empty")
+	}
+	if got := NewBoxSet(Box{Lo: Point{2, 2, 2}, Hi: Point{2, 4, 4}}); !got.Empty() {
+		t.Fatal("degenerate box produced cells")
+	}
+	s := NewBoxSet(MakeBox(2, 2, 2), Box{Lo: Point{5, 5, 5}, Hi: Point{6, 6, 6}})
+	if s.Bound() != (Box{Lo: Point{0, 0, 0}, Hi: Point{6, 6, 6}}) {
+		t.Fatalf("bound = %v", s.Bound())
+	}
+	if s.String() == "{}" {
+		t.Fatal("string empty for non-empty set")
+	}
+}
+
+func TestBoxSetOverlappingInput(t *testing.T) {
+	// Two heavily overlapping boxes: union volume counts each cell once.
+	a := MakeBox(6, 6, 6)
+	b := Box{Lo: Point{3, 3, 3}, Hi: Point{9, 9, 9}}
+	s := NewBoxSet(a, b)
+	want := a.Volume() + b.Volume() - 27 // 3^3 overlap
+	if s.Volume() != want {
+		t.Fatalf("volume = %d, want %d", s.Volume(), want)
+	}
+}
+
+func TestGhostRegion(t *testing.T) {
+	h := mustHierarchy(t, MakeBox(16, 16, 16), 2)
+	if err := h.SetLevel(1, []Box{{Lo: Point{8, 8, 8}, Hi: Point{16, 16, 16}}}); err != nil {
+		t.Fatal(err)
+	}
+	ghost := h.GhostRegion(1, 1)
+	// A width-1 shell around an 8^3 box fully interior to the 32^3 level
+	// domain: 10^3 - 8^3 = 488 cells.
+	if ghost.Volume() != 488 {
+		t.Fatalf("ghost volume = %d, want 488", ghost.Volume())
+	}
+	// Ghost cells never overlap the region itself.
+	if !ghost.Intersect(h.LevelRegion(1)).Empty() {
+		t.Fatal("ghost region overlaps its level")
+	}
+	// A box at the domain corner gets its ghost clipped.
+	h2 := mustHierarchy(t, MakeBox(16, 16, 16), 2)
+	if err := h2.SetLevel(1, []Box{{Lo: Point{0, 0, 0}, Hi: Point{8, 8, 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	corner := h2.GhostRegion(1, 1)
+	// Clipped shell: 9^3 - 8^3 = 217.
+	if corner.Volume() != 217 {
+		t.Fatalf("corner ghost volume = %d, want 217", corner.Volume())
+	}
+	// Degenerate queries.
+	if !h.GhostRegion(0, 0).Empty() {
+		t.Fatal("zero-width ghost not empty")
+	}
+	if !h.GhostRegion(9, 1).Empty() {
+		t.Fatal("out-of-range level ghost not empty")
+	}
+}
+
+func TestLevelRegionMatchesHierarchy(t *testing.T) {
+	h := mustHierarchy(t, MakeBox(16, 16, 16), 2)
+	if err := h.SetLevel(1, []Box{
+		{Lo: Point{0, 0, 0}, Hi: Point{8, 8, 8}},
+		{Lo: Point{16, 16, 16}, Hi: Point{24, 24, 24}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := h.LevelRegion(1)
+	if r.Volume() != h.CellsAtLevel(1) {
+		t.Fatalf("region volume %d != level cells %d", r.Volume(), h.CellsAtLevel(1))
+	}
+	if !h.LevelRegion(-1).Empty() {
+		t.Fatal("negative level region not empty")
+	}
+}

@@ -1,0 +1,140 @@
+package samr
+
+// ClusterOptions tunes the Berger–Rigoutsos point-clustering algorithm.
+type ClusterOptions struct {
+	// Efficiency is the minimum fraction of flagged cells a produced box
+	// must contain before recursion stops (0 < Efficiency <= 1).
+	Efficiency float64
+	// MinWidth is the smallest box extent the clusterer will create; boxes
+	// are not split below this width.
+	MinWidth int
+	// MaxBoxVolume, when positive, forces boxes larger than this many cells
+	// to split even if they meet the efficiency target. Bounding box volume
+	// is what the paper's policy rules constrain ("use refined grid
+	// components no larger than Q").
+	MaxBoxVolume int64
+}
+
+// DefaultClusterOptions matches common SAMR practice: 80 % fill efficiency
+// with a minimum box width of 2 cells.
+func DefaultClusterOptions() ClusterOptions {
+	return ClusterOptions{Efficiency: 0.8, MinWidth: 2}
+}
+
+// Cluster covers every flagged cell with a set of boxes using the
+// Berger–Rigoutsos signature algorithm (Berger & Rigoutsos, IEEE Trans.
+// SMC 21(5), 1991). The returned boxes are disjoint, lie within
+// f.Bounds(), and each contains at least one flagged cell.
+func Cluster(f *Flags, opt ClusterOptions) []Box {
+	if opt.Efficiency <= 0 || opt.Efficiency > 1 {
+		opt.Efficiency = 0.8
+	}
+	if opt.MinWidth < 1 {
+		opt.MinWidth = 1
+	}
+	bb, ok := f.BoundingBox(f.Bounds())
+	if !ok {
+		return nil
+	}
+	var out []Box
+	clusterRecurse(f, bb, opt, &out)
+	return out
+}
+
+func clusterRecurse(f *Flags, region Box, opt ClusterOptions, out *[]Box) {
+	bb, ok := f.BoundingBox(region)
+	if !ok {
+		return
+	}
+	flagged := f.CountIn(bb)
+	fill := float64(flagged) / float64(bb.Volume())
+	splittable := bb.Dx(0) >= 2*opt.MinWidth || bb.Dx(1) >= 2*opt.MinWidth || bb.Dx(2) >= 2*opt.MinWidth
+	tooBig := opt.MaxBoxVolume > 0 && bb.Volume() > opt.MaxBoxVolume
+	if (fill >= opt.Efficiency && !tooBig) || !splittable {
+		*out = append(*out, bb)
+		return
+	}
+	d, at := chooseCut(f, bb, opt.MinWidth)
+	if d < 0 {
+		*out = append(*out, bb)
+		return
+	}
+	lo, hi := bb.Split(d, at)
+	clusterRecurse(f, lo, opt, out)
+	clusterRecurse(f, hi, opt, out)
+}
+
+// chooseCut picks a split plane for region following Berger–Rigoutsos:
+// prefer a hole (zero-signature plane), then the strongest inflection point
+// of the signature Laplacian, then the midpoint of the longest axis.
+// Returns axis -1 when no legal cut exists.
+func chooseCut(f *Flags, region Box, minWidth int) (axis, at int) {
+	type cut struct {
+		axis, at int
+		score    int64
+	}
+	var bestHole, bestInflect *cut
+	longest, longAt := -1, 0
+	for d := 0; d < 3; d++ {
+		n := region.Dx(d)
+		if n < 2*minWidth {
+			continue
+		}
+		if longest < 0 || n > region.Dx(longest) {
+			longest = d
+			longAt = region.Lo[d] + n/2
+		}
+		sig := f.Signature(region, d)
+		// Holes: zero planes strictly inside the legal cut band. Prefer the
+		// hole closest to the center.
+		center := n / 2
+		for i := minWidth; i <= n-minWidth; i++ {
+			// A cut at plane i separates [0,i) and [i,n). Check the plane
+			// just below the cut for a hole.
+			if sig[i-1] == 0 || (i < n && sig[i] == 0) {
+				dist := int64(absInt(i - center))
+				if bestHole == nil || dist < bestHole.score {
+					bestHole = &cut{axis: d, at: region.Lo[d] + i, score: dist}
+				}
+			}
+		}
+		// Inflections: maximize |Δ²sig| sign change magnitude.
+		for i := minWidth; i <= n-minWidth; i++ {
+			if i-1 < 1 || i+1 >= n {
+				continue
+			}
+			lapA := sig[i-2] - 2*sig[i-1] + sig[i]
+			lapB := sig[i-1] - 2*sig[i] + sig[i+1]
+			if (lapA < 0 && lapB > 0) || (lapA > 0 && lapB < 0) {
+				mag := absInt64(lapA - lapB)
+				if bestInflect == nil || mag > bestInflect.score {
+					bestInflect = &cut{axis: d, at: region.Lo[d] + i, score: mag}
+				}
+			}
+		}
+	}
+	switch {
+	case bestHole != nil:
+		return bestHole.axis, bestHole.at
+	case bestInflect != nil:
+		return bestInflect.axis, bestInflect.at
+	case longest >= 0:
+		return longest, longAt
+	default:
+		return -1, 0
+	}
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func absInt64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

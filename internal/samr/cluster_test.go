@@ -1,0 +1,231 @@
+package samr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFlagsSetGetCount(t *testing.T) {
+	f := NewFlags(MakeBox(8, 8, 8))
+	if f.Count() != 0 {
+		t.Fatal("new flags not empty")
+	}
+	f.Set(Point{1, 2, 3})
+	f.Set(Point{1, 2, 3}) // idempotent
+	f.Set(Point{7, 7, 7})
+	if f.Count() != 2 {
+		t.Fatalf("count = %d", f.Count())
+	}
+	if !f.Get(Point{1, 2, 3}) || !f.Get(Point{7, 7, 7}) || f.Get(Point{0, 0, 0}) {
+		t.Fatal("get mismatch")
+	}
+	// Out-of-bounds set is ignored, get is false.
+	f.Set(Point{8, 0, 0})
+	if f.Count() != 2 || f.Get(Point{8, 0, 0}) {
+		t.Fatal("out-of-bounds handling wrong")
+	}
+}
+
+func TestFlagsSetBoxAndCountIn(t *testing.T) {
+	f := NewFlags(MakeBox(16, 16, 16))
+	b := Box{Lo: Point{2, 2, 2}, Hi: Point{6, 6, 6}}
+	f.SetBox(b)
+	if got := int64(f.Count()); got != b.Volume() {
+		t.Fatalf("count = %d, want %d", got, b.Volume())
+	}
+	if got := f.CountIn(Box{Lo: Point{0, 0, 0}, Hi: Point{4, 4, 4}}); got != 8 {
+		t.Fatalf("countIn = %d, want 8", got)
+	}
+	// SetBox clips to bounds.
+	f2 := NewFlags(MakeBox(4, 4, 4))
+	f2.SetBox(MakeBox(100, 100, 100))
+	if int64(f2.Count()) != 64 {
+		t.Fatalf("clipped SetBox count = %d", f2.Count())
+	}
+}
+
+func TestFlagsBoundingBox(t *testing.T) {
+	f := NewFlags(MakeBox(16, 16, 16))
+	if _, ok := f.BoundingBox(f.Bounds()); ok {
+		t.Fatal("empty flags produced a bounding box")
+	}
+	f.Set(Point{3, 4, 5})
+	f.Set(Point{10, 4, 8})
+	bb, ok := f.BoundingBox(f.Bounds())
+	if !ok {
+		t.Fatal("no bounding box")
+	}
+	want := Box{Lo: Point{3, 4, 5}, Hi: Point{11, 5, 9}}
+	if bb != want {
+		t.Fatalf("bounding box = %v, want %v", bb, want)
+	}
+}
+
+func TestFlagsSignature(t *testing.T) {
+	f := NewFlags(MakeBox(8, 4, 4))
+	f.SetBox(Box{Lo: Point{0, 0, 0}, Hi: Point{2, 4, 4}})
+	f.SetBox(Box{Lo: Point{6, 0, 0}, Hi: Point{8, 4, 4}})
+	sig := f.Signature(f.Bounds(), 0)
+	want := []int64{16, 16, 0, 0, 0, 0, 16, 16}
+	for i := range want {
+		if sig[i] != want[i] {
+			t.Fatalf("sig[%d] = %d, want %d (full %v)", i, sig[i], want[i], sig)
+		}
+	}
+}
+
+// clusterInvariants checks the guarantees Cluster must provide.
+func clusterInvariants(t *testing.T, f *Flags, boxes []Box) {
+	t.Helper()
+	// Every flagged cell covered.
+	covered := 0
+	for _, b := range boxes {
+		covered += f.CountIn(b)
+		if f.CountIn(b) == 0 {
+			t.Fatalf("box %v contains no flagged cells", b)
+		}
+		if !f.Bounds().ContainsBox(b) {
+			t.Fatalf("box %v escapes bounds %v", b, f.Bounds())
+		}
+	}
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Overlaps(boxes[j]) {
+				t.Fatalf("boxes %v and %v overlap", boxes[i], boxes[j])
+			}
+		}
+	}
+	if covered != f.Count() {
+		t.Fatalf("covered %d of %d flagged cells", covered, f.Count())
+	}
+}
+
+func TestClusterSingleBlock(t *testing.T) {
+	f := NewFlags(MakeBox(32, 32, 32))
+	f.SetBox(Box{Lo: Point{4, 4, 4}, Hi: Point{12, 12, 12}})
+	boxes := Cluster(f, DefaultClusterOptions())
+	clusterInvariants(t, f, boxes)
+	if len(boxes) != 1 {
+		t.Fatalf("solid block produced %d boxes, want 1", len(boxes))
+	}
+}
+
+func TestClusterTwoSeparatedBlocks(t *testing.T) {
+	f := NewFlags(MakeBox(32, 8, 8))
+	f.SetBox(Box{Lo: Point{0, 0, 0}, Hi: Point{4, 4, 4}})
+	f.SetBox(Box{Lo: Point{20, 2, 2}, Hi: Point{26, 6, 6}})
+	boxes := Cluster(f, DefaultClusterOptions())
+	clusterInvariants(t, f, boxes)
+	if len(boxes) != 2 {
+		t.Fatalf("two blocks produced %d boxes: %v", len(boxes), boxes)
+	}
+}
+
+func TestClusterEfficiency(t *testing.T) {
+	// Flag an L-shape; with a high efficiency target the single bounding box
+	// (fill 75 %) must split, with a low target it must not.
+	f := NewFlags(MakeBox(8, 8, 2))
+	f.SetBox(Box{Lo: Point{0, 0, 0}, Hi: Point{8, 4, 2}})
+	f.SetBox(Box{Lo: Point{0, 4, 0}, Hi: Point{4, 8, 2}})
+	tight := Cluster(f, ClusterOptions{Efficiency: 0.95, MinWidth: 2})
+	clusterInvariants(t, f, tight)
+	if len(tight) < 2 {
+		t.Fatalf("efficiency 0.95 kept %d boxes", len(tight))
+	}
+	loose := Cluster(f, ClusterOptions{Efficiency: 0.5, MinWidth: 2})
+	clusterInvariants(t, f, loose)
+	if len(loose) != 1 {
+		t.Fatalf("efficiency 0.5 produced %d boxes", len(loose))
+	}
+}
+
+func TestClusterMaxBoxVolume(t *testing.T) {
+	f := NewFlags(MakeBox(16, 4, 4))
+	f.SetBox(f.Bounds()) // one solid 256-cell region
+	boxes := Cluster(f, ClusterOptions{Efficiency: 0.8, MinWidth: 2, MaxBoxVolume: 64})
+	clusterInvariants(t, f, boxes)
+	for _, b := range boxes {
+		if b.Volume() > 64 {
+			t.Fatalf("box %v exceeds MaxBoxVolume", b)
+		}
+	}
+	if len(boxes) < 4 {
+		t.Fatalf("expected at least 4 boxes, got %d", len(boxes))
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	f := NewFlags(MakeBox(8, 8, 8))
+	if boxes := Cluster(f, DefaultClusterOptions()); boxes != nil {
+		t.Fatalf("empty flags produced boxes %v", boxes)
+	}
+}
+
+func TestClusterRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		f := NewFlags(MakeBox(24, 24, 12))
+		nBlobs := 1 + rng.Intn(5)
+		for i := 0; i < nBlobs; i++ {
+			lo := Point{rng.Intn(20), rng.Intn(20), rng.Intn(8)}
+			f.SetBox(Box{Lo: lo, Hi: Point{lo[0] + 1 + rng.Intn(4), lo[1] + 1 + rng.Intn(4), lo[2] + 1 + rng.Intn(4)}})
+		}
+		boxes := Cluster(f, DefaultClusterOptions())
+		clusterInvariants(t, f, boxes)
+		// Efficiency guarantee: every produced box either meets the fill
+		// target or is too small to split.
+		for _, b := range boxes {
+			fill := float64(f.CountIn(b)) / float64(b.Volume())
+			splittable := b.Dx(0) >= 4 || b.Dx(1) >= 4 || b.Dx(2) >= 4
+			if fill < 0.8 && splittable {
+				t.Fatalf("iter %d: box %v fill %.2f below target yet splittable", iter, b, fill)
+			}
+		}
+	}
+}
+
+func BenchmarkClusterScatter(b *testing.B) {
+	f := NewFlags(MakeBox(64, 32, 32))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		lo := Point{rng.Intn(56), rng.Intn(24), rng.Intn(24)}
+		f.SetBox(Box{Lo: lo, Hi: Point{lo[0] + 4, lo[1] + 4, lo[2] + 4}})
+	}
+	opt := DefaultClusterOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Cluster(f, opt)
+	}
+}
+
+func TestFlagsBuffer(t *testing.T) {
+	f := NewFlags(MakeBox(16, 16, 16))
+	f.Set(Point{8, 8, 8})
+	buffered := f.Buffer(2)
+	// A single cell dilated by 2 becomes a 5x5x5 block.
+	if buffered.Count() != 125 {
+		t.Fatalf("buffered count = %d, want 125", buffered.Count())
+	}
+	if !buffered.Get(Point{6, 6, 6}) || !buffered.Get(Point{10, 10, 10}) {
+		t.Fatal("dilation corners missing")
+	}
+	if buffered.Get(Point{5, 8, 8}) {
+		t.Fatal("dilation overreached")
+	}
+	// Buffering clips at the bounds.
+	edge := NewFlags(MakeBox(4, 4, 4))
+	edge.Set(Point{0, 0, 0})
+	if got := edge.Buffer(2).Count(); got != 27 {
+		t.Fatalf("clipped buffer count = %d, want 27", got)
+	}
+	// n <= 0 copies the bitmap.
+	copied := f.Buffer(0)
+	if copied.Count() != f.Count() || !copied.Get(Point{8, 8, 8}) {
+		t.Fatal("zero buffer is not a copy")
+	}
+	// The original is untouched.
+	if f.Count() != 1 {
+		t.Fatal("Buffer mutated the receiver")
+	}
+}

@@ -1,0 +1,196 @@
+package samr
+
+// Flags is a dense bitmap of error-flagged cells over a bounding box. The
+// application's error estimator marks cells that need refinement; the
+// Berger–Rigoutsos clusterer then covers the marked cells with boxes.
+type Flags struct {
+	bounds Box
+	nx, ny int // cached extents for addressing
+	bits   []uint64
+	count  int
+}
+
+// NewFlags creates an empty flag bitmap over the given (non-empty) bounds.
+func NewFlags(bounds Box) *Flags {
+	if bounds.Empty() {
+		panic("samr: NewFlags over empty box")
+	}
+	n := bounds.Volume()
+	return &Flags{
+		bounds: bounds,
+		nx:     bounds.Dx(0),
+		ny:     bounds.Dx(1),
+		bits:   make([]uint64, (n+63)/64),
+	}
+}
+
+// Bounds returns the region the bitmap covers.
+func (f *Flags) Bounds() Box { return f.bounds }
+
+// Count returns the number of flagged cells.
+func (f *Flags) Count() int { return f.count }
+
+func (f *Flags) index(p Point) int64 {
+	x := p[0] - f.bounds.Lo[0]
+	y := p[1] - f.bounds.Lo[1]
+	z := p[2] - f.bounds.Lo[2]
+	return int64(x) + int64(f.nx)*(int64(y)+int64(f.ny)*int64(z))
+}
+
+// Set flags the cell at p. Points outside the bounds are ignored so callers
+// can flag analytic regions without clipping first.
+func (f *Flags) Set(p Point) {
+	if !f.bounds.Contains(p) {
+		return
+	}
+	i := f.index(p)
+	mask := uint64(1) << uint(i&63)
+	if f.bits[i>>6]&mask == 0 {
+		f.bits[i>>6] |= mask
+		f.count++
+	}
+}
+
+// Get reports whether the cell at p is flagged. Points outside the bounds
+// are unflagged by definition.
+func (f *Flags) Get(p Point) bool {
+	if !f.bounds.Contains(p) {
+		return false
+	}
+	i := f.index(p)
+	return f.bits[i>>6]&(uint64(1)<<uint(i&63)) != 0
+}
+
+// SetBox flags every cell in b that lies inside the bounds.
+func (f *Flags) SetBox(b Box) {
+	clipped, ok := f.bounds.Intersect(b)
+	if !ok {
+		return
+	}
+	for z := clipped.Lo[2]; z < clipped.Hi[2]; z++ {
+		for y := clipped.Lo[1]; y < clipped.Hi[1]; y++ {
+			for x := clipped.Lo[0]; x < clipped.Hi[0]; x++ {
+				f.Set(Point{x, y, z})
+			}
+		}
+	}
+}
+
+// CountIn returns the number of flagged cells inside b.
+func (f *Flags) CountIn(b Box) int {
+	clipped, ok := f.bounds.Intersect(b)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for z := clipped.Lo[2]; z < clipped.Hi[2]; z++ {
+		for y := clipped.Lo[1]; y < clipped.Hi[1]; y++ {
+			for x := clipped.Lo[0]; x < clipped.Hi[0]; x++ {
+				if f.Get(Point{x, y, z}) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// BoundingBox returns the tightest box containing all flagged cells inside
+// region, and false when region holds no flagged cells.
+func (f *Flags) BoundingBox(region Box) (Box, bool) {
+	clipped, ok := f.bounds.Intersect(region)
+	if !ok {
+		return Box{}, false
+	}
+	lo := Point{clipped.Hi[0], clipped.Hi[1], clipped.Hi[2]}
+	hi := Point{clipped.Lo[0], clipped.Lo[1], clipped.Lo[2]}
+	found := false
+	for z := clipped.Lo[2]; z < clipped.Hi[2]; z++ {
+		for y := clipped.Lo[1]; y < clipped.Hi[1]; y++ {
+			for x := clipped.Lo[0]; x < clipped.Hi[0]; x++ {
+				if !f.Get(Point{x, y, z}) {
+					continue
+				}
+				found = true
+				if x < lo[0] {
+					lo[0] = x
+				}
+				if y < lo[1] {
+					lo[1] = y
+				}
+				if z < lo[2] {
+					lo[2] = z
+				}
+				if x+1 > hi[0] {
+					hi[0] = x + 1
+				}
+				if y+1 > hi[1] {
+					hi[1] = y + 1
+				}
+				if z+1 > hi[2] {
+					hi[2] = z + 1
+				}
+			}
+		}
+	}
+	if !found {
+		return Box{}, false
+	}
+	return Box{Lo: lo, Hi: hi}, true
+}
+
+// Buffer returns a new bitmap with every flagged cell dilated by n cells in
+// each direction (clipped to the bounds). Standard SAMR practice buffers
+// flags before clustering so that moving features stay inside their refined
+// boxes until the next regrid.
+func (f *Flags) Buffer(n int) *Flags {
+	if n <= 0 {
+		out := NewFlags(f.bounds)
+		for z := f.bounds.Lo[2]; z < f.bounds.Hi[2]; z++ {
+			for y := f.bounds.Lo[1]; y < f.bounds.Hi[1]; y++ {
+				for x := f.bounds.Lo[0]; x < f.bounds.Hi[0]; x++ {
+					if f.Get(Point{x, y, z}) {
+						out.Set(Point{x, y, z})
+					}
+				}
+			}
+		}
+		return out
+	}
+	out := NewFlags(f.bounds)
+	for z := f.bounds.Lo[2]; z < f.bounds.Hi[2]; z++ {
+		for y := f.bounds.Lo[1]; y < f.bounds.Hi[1]; y++ {
+			for x := f.bounds.Lo[0]; x < f.bounds.Hi[0]; x++ {
+				if f.Get(Point{x, y, z}) {
+					out.SetBox(Box{
+						Lo: Point{x - n, y - n, z - n},
+						Hi: Point{x + n + 1, y + n + 1, z + n + 1},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Signature returns the per-plane flagged-cell counts of region along axis
+// d: Signature[i] is the number of flagged cells in the plane
+// region.Lo[d]+i. Signatures drive the Berger–Rigoutsos cut selection.
+func (f *Flags) Signature(region Box, d int) []int64 {
+	clipped, ok := f.bounds.Intersect(region)
+	if !ok {
+		return make([]int64, max(0, region.Dx(d)))
+	}
+	sig := make([]int64, region.Dx(d))
+	for z := clipped.Lo[2]; z < clipped.Hi[2]; z++ {
+		for y := clipped.Lo[1]; y < clipped.Hi[1]; y++ {
+			for x := clipped.Lo[0]; x < clipped.Hi[0]; x++ {
+				if f.Get(Point{x, y, z}) {
+					p := Point{x, y, z}
+					sig[p[d]-region.Lo[d]]++
+				}
+			}
+		}
+	}
+	return sig
+}

@@ -1,0 +1,140 @@
+package samr
+
+import (
+	"math"
+	"testing"
+)
+
+func hierarchyWithLevel1(t testing.TB, boxes ...Box) *Hierarchy {
+	t.Helper()
+	h := mustHierarchy(t, MakeBox(64, 64, 64), 2)
+	if err := h.SetLevel(1, boxes); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestClusterCount(t *testing.T) {
+	// Two abutting boxes form one cluster; a distant third is separate.
+	h := hierarchyWithLevel1(t,
+		Box{Lo: Point{0, 0, 0}, Hi: Point{8, 8, 8}},
+		Box{Lo: Point{8, 0, 0}, Hi: Point{16, 8, 8}},
+		Box{Lo: Point{100, 100, 100}, Hi: Point{108, 108, 108}},
+	)
+	if got := h.ClusterCount(1); got != 2 {
+		t.Fatalf("cluster count = %d, want 2", got)
+	}
+	if got := h.ClusterCount(0); got != 1 {
+		t.Fatalf("base cluster count = %d", got)
+	}
+	if got := h.ClusterCount(7); got != 0 {
+		t.Fatalf("out-of-range cluster count = %d", got)
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	solid := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{16, 16, 16}})
+	if got := solid.Dispersion(1); got != 0 {
+		t.Fatalf("solid dispersion = %g", got)
+	}
+	scattered := hierarchyWithLevel1(t,
+		Box{Lo: Point{0, 0, 0}, Hi: Point{4, 4, 4}},
+		Box{Lo: Point{124, 124, 124}, Hi: Point{128, 128, 128}},
+	)
+	if got := scattered.Dispersion(1); got < 0.99 {
+		t.Fatalf("scattered dispersion = %g, want near 1", got)
+	}
+	if got := solid.Dispersion(0); got != 0 {
+		t.Fatalf("level-0 dispersion = %g", got)
+	}
+}
+
+func TestSurfaceToVolume(t *testing.T) {
+	// A thin sheet has much higher surface/volume than a cube of equal volume.
+	sheet := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{64, 64, 2}})
+	cube := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{20, 20, 20}})
+	if sheet.SurfaceToVolume(1) <= cube.SurfaceToVolume(1) {
+		t.Fatalf("sheet s/v %.3f <= cube s/v %.3f",
+			sheet.SurfaceToVolume(1), cube.SurfaceToVolume(1))
+	}
+	// Exact value for the sheet: 2*(64*64+64*2+2*64)/(64*64*2).
+	want := float64(2*(64*64+64*2+2*64)) / float64(64*64*2)
+	if got := sheet.SurfaceToVolume(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sheet s/v = %g, want %g", got, want)
+	}
+}
+
+func TestChangeFraction(t *testing.T) {
+	a := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{16, 16, 16}})
+	same := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{16, 16, 16}})
+	if got := ChangeFraction(a, same, 1); got != 0 {
+		t.Fatalf("identical change = %g", got)
+	}
+	disjoint := hierarchyWithLevel1(t, Box{Lo: Point{32, 32, 32}, Hi: Point{48, 48, 48}})
+	if got := ChangeFraction(a, disjoint, 1); got != 1 {
+		t.Fatalf("disjoint change = %g", got)
+	}
+	// Half-overlap: A = [0,16), B = [8,24) along x.
+	// |A\B| = 8*16*16, |B\A| = 8*16*16, union = 24*16*16 -> 16/24.
+	half := hierarchyWithLevel1(t, Box{Lo: Point{8, 0, 0}, Hi: Point{24, 16, 16}})
+	if got := ChangeFraction(a, half, 1); math.Abs(got-16.0/24.0) > 1e-12 {
+		t.Fatalf("half change = %g, want %g", got, 16.0/24.0)
+	}
+	// Symmetry.
+	if ChangeFraction(a, half, 1) != ChangeFraction(half, a, 1) {
+		t.Fatal("change fraction not symmetric")
+	}
+	// Missing level on one side counts as full change.
+	bare := mustHierarchy(t, MakeBox(64, 64, 64), 2)
+	if got := ChangeFraction(a, bare, 1); got != 1 {
+		t.Fatalf("missing level change = %g", got)
+	}
+	if got := ChangeFraction(bare, bare, 1); got != 0 {
+		t.Fatalf("both missing change = %g", got)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	h := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{8, 8, 8}})
+	tr := &Trace{Name: "x", RegridEvery: 4, Snapshots: []Snapshot{
+		{Index: 0, CoarseStep: 0, H: h},
+		{Index: 1, CoarseStep: 4, H: h},
+	}}
+	if s, ok := tr.At(1); !ok || s.CoarseStep != 4 {
+		t.Fatal("At(1) wrong")
+	}
+	if _, ok := tr.At(2); ok {
+		t.Fatal("At(2) should fail")
+	}
+	if _, ok := tr.At(-1); ok {
+		t.Fatal("At(-1) should fail")
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	a := hierarchyWithLevel1(t, Box{Lo: Point{0, 0, 0}, Hi: Point{16, 16, 16}})
+	b := hierarchyWithLevel1(t, Box{Lo: Point{8, 0, 0}, Hi: Point{24, 16, 16}})
+	tr := &Trace{Name: "x", RegridEvery: 4, Snapshots: []Snapshot{
+		{Index: 0, CoarseStep: 0, H: a},
+		{Index: 1, CoarseStep: 4, H: b},
+	}}
+	stats := tr.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	if stats[0].Change != 0 {
+		t.Fatalf("first snapshot change = %g", stats[0].Change)
+	}
+	if stats[1].Change <= 0 {
+		t.Fatal("moved refinement shows no change")
+	}
+	if stats[0].Boxes != 2 || stats[0].Depth != 2 {
+		t.Fatalf("stats[0] = %+v", stats[0])
+	}
+	if stats[0].Cells != a.TotalCells() {
+		t.Fatalf("cells = %d", stats[0].Cells)
+	}
+}

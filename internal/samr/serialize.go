@@ -1,0 +1,110 @@
+package samr
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file persists adaptation traces. The paper's workflow captures the
+// trace in a single-processor run and analyzes it offline (§4.5); saving
+// and reloading traces makes that workflow reproducible without re-running
+// the application.
+//
+// The format is line-delimited JSON: a header object followed by one
+// object per snapshot, so traces stream without holding the whole file in
+// memory.
+
+// traceHeader is the first line of a serialized trace.
+type traceHeader struct {
+	Format      string `json:"format"`
+	Name        string `json:"name"`
+	RegridEvery int    `json:"regridEvery"`
+	Snapshots   int    `json:"snapshots"`
+}
+
+// snapshotRecord is one serialized snapshot.
+type snapshotRecord struct {
+	Index      int     `json:"index"`
+	CoarseStep int     `json:"coarseStep"`
+	Time       float64 `json:"time"`
+	Domain     Box     `json:"domain"`
+	Ratio      int     `json:"ratio"`
+	Levels     [][]Box `json:"levels"`
+}
+
+// traceFormat identifies the stream layout.
+const traceFormat = "pragma-trace-v1"
+
+// WriteTrace serializes the trace to w.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := traceHeader{
+		Format:      traceFormat,
+		Name:        tr.Name,
+		RegridEvery: tr.RegridEvery,
+		Snapshots:   len(tr.Snapshots),
+	}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("samr: write trace header: %w", err)
+	}
+	for _, s := range tr.Snapshots {
+		rec := snapshotRecord{
+			Index:      s.Index,
+			CoarseStep: s.CoarseStep,
+			Time:       s.Time,
+			Domain:     s.H.Domain,
+			Ratio:      s.H.Ratio,
+			Levels:     s.H.Levels,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("samr: write snapshot %d: %w", s.Index, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace and validates every
+// hierarchy.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header traceHeader
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("samr: read trace header: %w", err)
+	}
+	if header.Format != traceFormat {
+		return nil, fmt.Errorf("samr: unsupported trace format %q", header.Format)
+	}
+	tr := &Trace{
+		Name:        header.Name,
+		RegridEvery: header.RegridEvery,
+		Snapshots:   make([]Snapshot, 0, header.Snapshots),
+	}
+	for i := 0; i < header.Snapshots; i++ {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("samr: read snapshot %d: %w", i, err)
+		}
+		h, err := NewHierarchy(rec.Domain, rec.Ratio)
+		if err != nil {
+			return nil, fmt.Errorf("samr: snapshot %d: %w", i, err)
+		}
+		for l := 1; l < len(rec.Levels); l++ {
+			if err := h.SetLevel(l, rec.Levels[l]); err != nil {
+				return nil, fmt.Errorf("samr: snapshot %d level %d: %w", i, l, err)
+			}
+		}
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("samr: snapshot %d invalid: %w", i, err)
+		}
+		tr.Snapshots = append(tr.Snapshots, Snapshot{
+			Index:      rec.Index,
+			CoarseStep: rec.CoarseStep,
+			Time:       rec.Time,
+			H:          h,
+		})
+	}
+	return tr, nil
+}

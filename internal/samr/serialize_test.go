@@ -1,0 +1,96 @@
+package samr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(t *testing.T) *Trace {
+	t.Helper()
+	h1 := mustHierarchy(t, MakeBox(32, 16, 16), 2)
+	if err := h1.SetLevel(1, []Box{{Lo: Point{4, 4, 4}, Hi: Point{20, 12, 12}}}); err != nil {
+		t.Fatal(err)
+	}
+	h2 := h1.Clone()
+	if err := h2.SetLevel(2, []Box{{Lo: Point{10, 10, 10}, Hi: Point{30, 20, 20}}}); err != nil {
+		t.Fatal(err)
+	}
+	return &Trace{
+		Name:        "sample",
+		RegridEvery: 4,
+		Snapshots: []Snapshot{
+			{Index: 0, CoarseStep: 0, Time: 0, H: h1},
+			{Index: 1, CoarseStep: 4, Time: 0.004, H: h2},
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.RegridEvery != tr.RegridEvery {
+		t.Fatalf("metadata: %q/%d", got.Name, got.RegridEvery)
+	}
+	if len(got.Snapshots) != len(tr.Snapshots) {
+		t.Fatalf("snapshots = %d", len(got.Snapshots))
+	}
+	for i := range tr.Snapshots {
+		a, b := tr.Snapshots[i], got.Snapshots[i]
+		if a.Index != b.Index || a.CoarseStep != b.CoarseStep || a.Time != b.Time {
+			t.Fatalf("snapshot %d metadata differs", i)
+		}
+		if b.H.Depth() != a.H.Depth() {
+			t.Fatalf("snapshot %d depth %d vs %d", i, b.H.Depth(), a.H.Depth())
+		}
+		for l := 0; l < a.H.Depth(); l++ {
+			if ChangeFraction(a.H, b.H, l) != 0 {
+				t.Fatalf("snapshot %d level %d differs after round trip", i, l)
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"format":"nope"}`)); err == nil {
+		t.Error("wrong format accepted")
+	}
+	// Header claims more snapshots than present.
+	if _, err := ReadTrace(strings.NewReader(
+		`{"format":"pragma-trace-v1","name":"x","regridEvery":4,"snapshots":2}` + "\n" +
+			`{"index":0,"coarseStep":0,"time":0,"domain":{"Lo":[0,0,0],"Hi":[4,4,4]},"ratio":2,"levels":[[{"Lo":[0,0,0],"Hi":[4,4,4]}]]}`)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Structurally invalid hierarchy (unnested level).
+	bad := `{"format":"pragma-trace-v1","name":"x","regridEvery":4,"snapshots":1}` + "\n" +
+		`{"index":0,"coarseStep":0,"time":0,"domain":{"Lo":[0,0,0],"Hi":[4,4,4]},"ratio":2,"levels":[[{"Lo":[0,0,0],"Hi":[4,4,4]}],[{"Lo":[100,100,100],"Hi":[120,120,120]}]]}`
+	if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+		t.Error("invalid hierarchy accepted")
+	}
+}
+
+func TestWriteTraceStreams(t *testing.T) {
+	// The header line alone identifies the format (streamability check).
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	first, err := buf.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, "pragma-trace-v1") {
+		t.Fatalf("header line = %q", first)
+	}
+}

@@ -1,0 +1,75 @@
+package samr
+
+// WorkModel assigns computational weight to grid regions. The paper notes
+// that "the local physics may change significantly from zone to zone as
+// fronts move through the system", producing heterogeneous and dynamic load
+// per zone; a WorkModel captures that.
+type WorkModel interface {
+	// BoxWork returns the per-coarse-step computational weight of box b on
+	// level l (in level-l coordinates), including MIT time refinement.
+	BoxWork(h *Hierarchy, level int, b Box) float64
+}
+
+// UniformWork charges every cell the same base cost, scaled by Ratio^level
+// for MIT time refinement. The zero value charges cost 1 per cell-update.
+type UniformWorkModel struct {
+	// CellCost is the weight of a single cell update; 0 means 1.
+	CellCost float64
+}
+
+// BoxWork implements WorkModel.
+func (u UniformWorkModel) BoxWork(h *Hierarchy, level int, b Box) float64 {
+	c := u.CellCost
+	if c == 0 {
+		c = 1
+	}
+	return c * float64(b.Volume()) * float64(h.refinementScale(level))
+}
+
+// FrontWorkModel charges extra cost inside a "front" region (e.g. a shock,
+// where the local physics is stiffer), modeling heterogeneous per-zone load.
+// Regions are expressed in level-0 coordinates and apply to all levels.
+type FrontWorkModel struct {
+	Base UniformWorkModel
+	// Fronts lists (region, extra multiplier) pairs; a cell inside a front
+	// region costs Multiplier times the base cost.
+	Fronts []Front
+}
+
+// Front is a level-0 region with a cost multiplier.
+type Front struct {
+	Region     Box
+	Multiplier float64
+}
+
+// BoxWork implements WorkModel. The work of the box is the base work plus
+// the surcharge for the portion overlapping each front.
+func (f FrontWorkModel) BoxWork(h *Hierarchy, level int, b Box) float64 {
+	w := f.Base.BoxWork(h, level, b)
+	base := f.Base.CellCost
+	if base == 0 {
+		base = 1
+	}
+	scale := h.refinementScale(level)
+	for _, fr := range f.Fronts {
+		region := fr.Region
+		for i := 0; i < level; i++ {
+			region = region.Refine(h.Ratio)
+		}
+		if inter, ok := b.Intersect(region); ok && fr.Multiplier > 1 {
+			w += base * (fr.Multiplier - 1) * float64(inter.Volume()) * float64(scale)
+		}
+	}
+	return w
+}
+
+// HierarchyWork sums the model's weight over every box of the hierarchy.
+func HierarchyWork(h *Hierarchy, m WorkModel) float64 {
+	var w float64
+	for l, boxes := range h.Levels {
+		for _, b := range boxes {
+			w += m.BoxWork(h, l, b)
+		}
+	}
+	return w
+}

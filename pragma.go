@@ -1,0 +1,348 @@
+// Package pragma is an adaptive runtime infrastructure for grid
+// applications, reproducing the system described in "Pragma: An
+// Infrastructure for Runtime Management of Grid Applications" (Parashar &
+// Hariri, IPDPS 2002).
+//
+// Pragma reactively and proactively manages the execution of dynamically
+// adaptive (SAMR) applications: it characterizes the application's state
+// with the octant approach, characterizes the system with NWS-style
+// monitoring and predictive performance functions, selects partitioning
+// strategies at runtime through a programmable policy knowledge base, and
+// coordinates adaptation through an agent-based control network.
+//
+// The package is a facade over the implementation packages; the
+// runnable entry point is the Runtime type:
+//
+//	trace, _ := pragma.GenerateRM3D(pragma.RM3DSmall())
+//	rt := pragma.Runtime{
+//		Trace:    trace,
+//		Machine:  pragma.NewCluster(16),
+//		Strategy: pragma.Adaptive(),
+//	}
+//	result, _ := rt.Execute()
+//	fmt.Printf("simulated runtime: %.1fs\n", result.TotalTime)
+package pragma
+
+import (
+	"io"
+
+	"github.com/pragma-grid/pragma/internal/agents"
+	"github.com/pragma-grid/pragma/internal/astro"
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/core"
+	"github.com/pragma-grid/pragma/internal/engine"
+	"github.com/pragma-grid/pragma/internal/hydro"
+	"github.com/pragma-grid/pragma/internal/monitor"
+	"github.com/pragma-grid/pragma/internal/octant"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/perf"
+	"github.com/pragma-grid/pragma/internal/policy"
+	"github.com/pragma-grid/pragma/internal/rm3d"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the public names.
+type (
+	// Box is a half-open axis-aligned region of a grid index space.
+	Box = samr.Box
+	// Point is a 3-D integer index.
+	Point = samr.Point
+	// Hierarchy is an SAMR grid hierarchy.
+	Hierarchy = samr.Hierarchy
+	// Snapshot is one regrid-step capture of a hierarchy.
+	Snapshot = samr.Snapshot
+	// Trace is an application adaptation trace.
+	Trace = samr.Trace
+	// WorkModel weighs grid regions by computational cost.
+	WorkModel = samr.WorkModel
+
+	// Octant is one of the eight application-state octants (Fig. 2).
+	Octant = octant.Octant
+	// OctantState is the measured application state.
+	OctantState = octant.State
+	// OctantThresholds configure the octant classifier.
+	OctantThresholds = octant.Thresholds
+
+	// Partitioner distributes a hierarchy across processors.
+	Partitioner = partition.Partitioner
+	// Assignment maps grid units to processors.
+	Assignment = partition.Assignment
+	// Quality is the five-component PAC metric of a partitioning.
+	Quality = partition.Quality
+
+	// Cluster is a simulated execution environment.
+	Cluster = cluster.Cluster
+	// CostModel converts grid quantities into seconds.
+	CostModel = cluster.CostModel
+
+	// PolicyBase is the programmable adaptation policy knowledge base.
+	PolicyBase = policy.Base
+	// PolicyRule is one adaptation policy.
+	PolicyRule = policy.Rule
+	// PolicyAction is what a matched rule prescribes.
+	PolicyAction = policy.Action
+
+	// MetaPartitioner selects partitioners from octant state (§4).
+	MetaPartitioner = core.MetaPartitioner
+	// Strategy decides how each regrid point is partitioned.
+	Strategy = core.Strategy
+	// RunResult is the execution profile of a replayed run.
+	RunResult = core.RunResult
+
+	// CapacityWeights weight CPU/memory/bandwidth in the relative-capacity
+	// formula (Fig. 4).
+	CapacityWeights = monitor.Weights
+
+	// RM3DConfig parameterizes the synthetic RM3D application.
+	RM3DConfig = rm3d.Config
+
+	// Message is the unit of communication in the agent control network.
+	Message = agents.Message
+	// MessageCenter is the CATALINA-style broker owning agent mailboxes.
+	MessageCenter = agents.Center
+	// MessagePort is the communication capability agents speak (in-process
+	// Center or TCP Client).
+	MessagePort = agents.Port
+	// AgentClient is a TCP connection to a remote MessageCenter.
+	AgentClient = agents.Client
+	// ComponentAgent monitors one application component.
+	ComponentAgent = agents.ComponentAgent
+	// ADM is the application delegated manager.
+	ADM = agents.ADM
+	// Sensor samples one application or system attribute.
+	Sensor = agents.Sensor
+	// SensorFunc adapts a function to Sensor.
+	SensorFunc = agents.SensorFunc
+	// Actuator applies one adaptation mechanism.
+	Actuator = agents.Actuator
+	// ActuatorFunc adapts a function to Actuator.
+	ActuatorFunc = agents.ActuatorFunc
+	// EventRule publishes an event on a sensed threshold crossing.
+	EventRule = agents.EventRule
+	// Command is an actuation directive.
+	Command = agents.Command
+	// ADMEvent is a threshold event as seen by the ADM.
+	ADMEvent = agents.Event
+	// Template is an execution-environment blueprint.
+	Template = agents.Template
+	// TemplateRegistry stores and discovers templates.
+	TemplateRegistry = agents.Registry
+
+	// HydroGrid is a uniform grid of the built-in compressible-flow solver.
+	HydroGrid = hydro.Grid
+	// HydroState holds one cell's conserved variables.
+	HydroState = hydro.State
+
+	// Engine executes a partitioned hierarchy as a real message-passing
+	// program over the Message Center (see internal/engine).
+	Engine = engine.Engine
+	// EngineReport summarizes an emulated distributed run.
+	EngineReport = engine.Report
+
+	// PF is a performance function (§3.2).
+	PF = perf.PF
+	// SerialPF composes PFs of serially traversed components (Eq. 2).
+	SerialPF = perf.Serial
+	// ParallelPF composes PFs of concurrent components.
+	ParallelPF = perf.Parallel
+	// SystemComponent is a measurable component of the PF example system.
+	SystemComponent = perf.Component
+)
+
+// RM3DPaper returns the paper's RM3D configuration: 128x32x32 base grid,
+// 3 levels of factor-2 refinement, regridding every 4 steps, 800+ coarse
+// steps (202 trace snapshots).
+func RM3DPaper() RM3DConfig { return rm3d.DefaultConfig() }
+
+// RM3DSmall returns a reduced RM3D configuration suitable for quick runs
+// and tests.
+func RM3DSmall() RM3DConfig { return rm3d.SmallConfig() }
+
+// GenerateRM3D produces the RM3D adaptation trace for a configuration.
+func GenerateRM3D(cfg RM3DConfig) (*Trace, error) { return rm3d.GenerateTrace(cfg) }
+
+// RenderProfile renders a snapshot's refinement structure as ASCII art
+// (the content of the paper's Fig. 3).
+func RenderProfile(s Snapshot) string { return rm3d.Profile(s) }
+
+// AstroConfig parameterizes the galaxy-formation and supernova application
+// models (the other two driver applications of the paper's §2).
+type AstroConfig = astro.Config
+
+// AstroDefault returns the standard astro application configuration.
+func AstroDefault() AstroConfig { return astro.DefaultConfig() }
+
+// AstroSmall returns a reduced astro configuration for quick runs.
+func AstroSmall() AstroConfig { return astro.SmallConfig() }
+
+// GenerateGalaxy produces a hierarchical galaxy-formation adaptation trace
+// with the given number of initial halos.
+func GenerateGalaxy(cfg AstroConfig, halos int) (*Trace, error) {
+	return astro.GenerateTrace(cfg, astro.NewGalaxy(cfg, halos))
+}
+
+// GenerateSupernova produces an aspherical supernova adaptation trace.
+func GenerateSupernova(cfg AstroConfig) (*Trace, error) {
+	return astro.GenerateTrace(cfg, astro.NewSupernova(cfg))
+}
+
+// NewHydroGrid allocates a grid for the built-in first-order Euler solver.
+func NewHydroGrid(nx, ny, nz int, dx, gamma float64) (*HydroGrid, error) {
+	return hydro.NewGrid(nx, ny, nz, dx, gamma)
+}
+
+// HydroConserved builds a conserved state from primitive variables.
+func HydroConserved(gamma, rho, u, v, w, p float64) HydroState {
+	return hydro.Conserved(gamma, rho, u, v, w, p)
+}
+
+// SodShockTube initializes the classic Sod problem along x.
+func SodShockTube(g *HydroGrid) { hydro.SodX(g) }
+
+// HydroTrace advances the solver and captures a hierarchy snapshot every
+// regridEvery steps, using gradient error flagging and Berger–Rigoutsos
+// clustering — an adaptation trace produced by a real solver.
+func HydroTrace(g *HydroGrid, steps, regridEvery int, cfl, flagThreshold float64) (*Trace, error) {
+	return hydro.TraceRun(g, steps, regridEvery, cfl, flagThreshold, samr.DefaultClusterOptions())
+}
+
+// WriteTrace serializes an adaptation trace as line-delimited JSON.
+func WriteTrace(w io.Writer, tr *Trace) error { return samr.WriteTrace(w, tr) }
+
+// ReadTrace deserializes a trace written by WriteTrace, validating every
+// hierarchy.
+func ReadTrace(r io.Reader) (*Trace, error) { return samr.ReadTrace(r) }
+
+// UniformWork returns the default work model: every cell costs one unit,
+// scaled by the level's MIT sub-cycling factor.
+func UniformWork() WorkModel { return samr.UniformWorkModel{} }
+
+// PartitionerByName returns a partitioner from the suite the paper
+// evaluates: "SFC", "G-MISP", "G-MISP+SP", "pBD-ISP", "SP-ISP", "ISP",
+// "EqualBlock" or "Heterogeneous".
+func PartitionerByName(name string) (Partitioner, error) { return partition.ByName(name) }
+
+// Partitioners returns the full ISP partitioner suite.
+func Partitioners() []Partitioner { return partition.All() }
+
+// EvaluateQuality computes the PAC quality metric of an assignment;
+// prevH/prev may be nil when there is no previous placement.
+func EvaluateQuality(h *Hierarchy, a *Assignment, prevH *Hierarchy, prev *Assignment) Quality {
+	return partition.EvalQuality(h, a, prevH, prev, 0)
+}
+
+// Table2Policy returns the paper's Table 2 octant-to-partitioner policy
+// knowledge base.
+func Table2Policy() *PolicyBase { return policy.Table2() }
+
+// NewMetaPartitioner returns the paper's adaptive meta-partitioner:
+// Table 2 policies over octant characterization.
+func NewMetaPartitioner() *MetaPartitioner { return core.NewMetaPartitioner() }
+
+// ClassifyTrace characterizes every snapshot of a trace into octants.
+func ClassifyTrace(tr *Trace) ([]octant.Characterization, error) {
+	return octant.CharacterizeTrace(tr, octant.DefaultThresholds(), 3)
+}
+
+// NewCluster builds a homogeneous n-node machine with the calibrated
+// SP2-like defaults used by the Table 4 experiments.
+func NewCluster(n int) *Cluster { return cluster.SP2(n) }
+
+// NewLinuxCluster builds the Table 5 machine: n workstation nodes on fast
+// Ethernet with a deterministic synthetic background load.
+func NewLinuxCluster(n int, loadSeed int64) *Cluster { return cluster.LinuxCluster(n, loadSeed) }
+
+// Static returns a strategy applying one fixed partitioner at every regrid.
+func Static(p Partitioner) Strategy { return core.Static{P: p} }
+
+// Adaptive returns the application-sensitive meta-partitioning strategy
+// with the quality guard enabled (see core.Adaptive).
+func Adaptive() Strategy { return core.Adaptive{ImbalanceGuard: 20} }
+
+// SystemSensitive returns the strategy of §4.6: capacity-weighted
+// partitioning driven by resource monitoring.
+func SystemSensitive() Strategy { return &core.SystemSensitive{} }
+
+// Proactive returns the predictive variant of system-sensitive
+// partitioning: capacities come from the NWS meta-forecaster's prediction
+// of the next resource state (§3.1's proactive management).
+func Proactive() Strategy { return &core.Proactive{} }
+
+// FailureAware wraps a strategy with fail-stop tolerance: dead nodes are
+// detected at each regrid and work is redistributed across survivors.
+func FailureAware(inner Strategy) Strategy { return &core.FailureAware{Inner: inner} }
+
+// NewMessageCenter creates an empty agent Message Center. Serve TCP
+// clients with (*MessageCenter).Serve to emulate a multi-node control
+// network.
+func NewMessageCenter() *MessageCenter { return agents.NewCenter() }
+
+// DialMessageCenter connects to a Message Center served over TCP.
+func DialMessageCenter(addr string) (*AgentClient, error) { return agents.Dial(addr) }
+
+// NewComponentAgent registers a component agent on the port with its
+// sensors, actuators and threshold event rules.
+func NewComponentAgent(id string, port MessagePort, sensors []Sensor, actuators []Actuator, rules []EventRule) (*ComponentAgent, error) {
+	return agents.NewComponentAgent(id, port, sensors, actuators, rules)
+}
+
+// NewADM registers an application delegated manager on the port, driven by
+// the given policy knowledge base.
+func NewADM(id string, port MessagePort, kb *PolicyBase) (*ADM, error) {
+	return agents.NewADM(id, port, kb)
+}
+
+// NewTemplateRegistry creates an empty execution-environment template
+// registry.
+func NewTemplateRegistry() *TemplateRegistry { return agents.NewRegistry() }
+
+// NewEngine wires a distributed-execution emulation of the assignment:
+// one worker per processor on the given ports (the same MessageCenter for
+// an in-process run, or TCP clients for multi-node emulation), exchanging
+// real ghost messages each step.
+func NewEngine(h *Hierarchy, a *Assignment, coordOn MessagePort, ports []MessagePort) (*Engine, error) {
+	return engine.New(h, a, coordOn, ports)
+}
+
+// PFExampleSystem returns the paper's PC1 -> switch -> PC2 pipeline used
+// to illustrate performance functions (§3.2, Table 1).
+func PFExampleSystem(noise float64) []SystemComponent { return perf.ExampleSystem(noise) }
+
+// FitPerformanceFunctions measures every component of a pipeline at the
+// given data sizes, fits one neural PF per component, and returns the
+// composed end-to-end PF (Eq. 2) plus the per-component PFs.
+func FitPerformanceFunctions(comps []SystemComponent, sizes []float64, samplesPerSize int, seed int64) (SerialPF, []PF, error) {
+	return perf.FitComponentPFs(comps, sizes, samplesPerSize, seed)
+}
+
+// Runtime executes an application's adaptation trace on a simulated
+// machine under a partitioning strategy — the top-level use of Pragma.
+type Runtime struct {
+	// Trace is the application adaptation trace to replay (required).
+	Trace *Trace
+	// Machine is the execution environment (required).
+	Machine *Cluster
+	// Strategy picks partitionings at regrid points; nil means Adaptive().
+	Strategy Strategy
+	// NProcs restricts the run to the first n processors (0 = all).
+	NProcs int
+	// WorkModel supplies per-snapshot region weights; nil means uniform.
+	WorkModel func(idx int) WorkModel
+	// Cost overrides the machine cost model (zero value = defaults).
+	Cost CostModel
+}
+
+// Execute replays the trace and returns the execution profile.
+func (r Runtime) Execute() (*RunResult, error) {
+	strat := r.Strategy
+	if strat == nil {
+		strat = Adaptive()
+	}
+	return core.Run(r.Trace, strat, core.RunConfig{
+		Machine:   r.Machine,
+		Cost:      r.Cost,
+		NProcs:    r.NProcs,
+		WorkModel: r.WorkModel,
+	})
+}

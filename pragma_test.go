@@ -1,0 +1,111 @@
+package pragma
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := Runtime{
+		Trace:    trace,
+		Machine:  NewCluster(8),
+		Strategy: Adaptive(),
+	}
+	res, err := rt.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.Steps == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestFacadeDefaultStrategy(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Runtime{Trace: trace, Machine: NewCluster(4)}.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "adaptive" {
+		t.Fatalf("default strategy = %q", res.Strategy)
+	}
+}
+
+func TestFacadePartitionerLookup(t *testing.T) {
+	for _, name := range []string{"SFC", "G-MISP", "G-MISP+SP", "pBD-ISP", "SP-ISP", "ISP"} {
+		p, err := PartitionerByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("lookup %q failed: %v", name, err)
+		}
+	}
+	if len(Partitioners()) != 6 {
+		t.Errorf("suite size = %d", len(Partitioners()))
+	}
+}
+
+func TestFacadeClassifyAndPolicy(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars, err := ClassifyTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != len(trace.Snapshots) {
+		t.Fatalf("characterized %d of %d", len(chars), len(trace.Snapshots))
+	}
+	kb := Table2Policy()
+	act, ok := kb.BestAction("select-partitioner", map[string]interface{}{"octant": chars[0].Octant.String()})
+	if !ok || act.Target == "" {
+		t.Fatalf("no policy action for octant %v", chars[0].Octant)
+	}
+}
+
+func TestFacadeSystemSensitive(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Runtime{
+		Trace:    trace,
+		Machine:  NewLinuxCluster(8, 7),
+		Strategy: SystemSensitive(),
+	}.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "system-sensitive" {
+		t.Fatalf("strategy = %q", res.Strategy)
+	}
+}
+
+func TestFacadeProfileAndQuality(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := trace.Snapshots[5]
+	if p := RenderProfile(snap); !strings.Contains(p, "+") {
+		t.Error("profile shows no refinement")
+	}
+	part, err := PartitionerByName("G-MISP+SP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := part.Partition(snap.H, UniformWork(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := EvaluateQuality(snap.H, a, nil, nil)
+	if q.CommVolume <= 0 || q.Overhead <= 0 {
+		t.Fatalf("quality = %+v", q)
+	}
+}
