@@ -41,6 +41,20 @@ func main() {
 		overload = flag.Float64("overload", 0.8, "load threshold that fires an overload event")
 		interval = flag.Duration("interval", time.Second, "agent poll / ADM report interval")
 		runFor   = flag.Duration("run-for", 0, "exit after this duration (0 = until interrupted)")
+
+		// Robustness knobs.
+		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "broker: evict clients silent this long (0 disables; with -serve)")
+		wTimeout  = flag.Duration("write-timeout", 5*time.Second, "broker: wire write deadline (0 disables; with -serve)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "node: ping the broker this often (0 disables; with -join)")
+		reconnect = flag.Bool("reconnect", true, "node: reconnect with backoff and replay state after link loss (with -join)")
+
+		// Fault injection on the node's uplink, for rehearsing failures.
+		chaosDrop    = flag.Float64("chaos-drop", 0, "inject: per-op connection drop probability (with -join)")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "inject: per-write byte corruption probability (with -join)")
+		chaosLatency = flag.Duration("chaos-latency", 0, "inject: fixed latency per wire op (with -join)")
+		chaosJitter  = flag.Duration("chaos-jitter", 0, "inject: random extra latency per wire op (with -join)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "inject: fault RNG seed (with -join)")
+		chaosBudget  = flag.Int("chaos-max-faults", 0, "inject: total fault budget, 0 = unlimited (with -join)")
 	)
 	flag.Parse()
 
@@ -54,11 +68,28 @@ func main() {
 
 	switch {
 	case *serve != "":
-		if err := runBroker(ctx, *serve, *interval); err != nil {
+		if err := runBroker(ctx, *serve, *interval, *hbTimeout, *wTimeout); err != nil {
 			fail(err)
 		}
 	case *join != "":
-		if err := runNode(ctx, *join, *id, *load, *wobble, *overload, *interval); err != nil {
+		dialOpts := []pragma.DialOption{
+			pragma.WithReconnect(*reconnect),
+			pragma.WithHeartbeat(*heartbeat),
+			pragma.WithErrorHandler(func(err error) {
+				fmt.Fprintf(os.Stderr, "[%s] link: %v\n", *id, err)
+			}),
+		}
+		if *chaosDrop > 0 || *chaosCorrupt > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
+			dialOpts = append(dialOpts, pragma.WithDialer(pragma.ChaosDialer(pragma.ChaosConfig{
+				Seed:        *chaosSeed,
+				Latency:     *chaosLatency,
+				Jitter:      *chaosJitter,
+				DropRate:    *chaosDrop,
+				CorruptRate: *chaosCorrupt,
+				MaxFaults:   *chaosBudget,
+			})))
+		}
+		if err := runNode(ctx, *join, *id, *load, *wobble, *overload, *interval, dialOpts); err != nil {
 			fail(err)
 		}
 	default:
@@ -67,8 +98,13 @@ func main() {
 	}
 }
 
-func runBroker(ctx context.Context, addr string, interval time.Duration) error {
-	center := pragma.NewMessageCenter()
+func runBroker(ctx context.Context, addr string, interval, hbTimeout, wTimeout time.Duration) error {
+	center := pragma.NewMessageCenter(
+		pragma.WithHeartbeatTimeout(hbTimeout),
+		pragma.WithCenterWriteTimeout(wTimeout),
+		pragma.WithCenterErrorHandler(func(err error) {
+			fmt.Fprintf(os.Stderr, "broker: %v\n", err)
+		}))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -120,8 +156,8 @@ func runBroker(ctx context.Context, addr string, interval time.Duration) error {
 	}
 }
 
-func runNode(ctx context.Context, addr, id string, base, wobble, overload float64, interval time.Duration) error {
-	client, err := pragma.DialMessageCenter(addr)
+func runNode(ctx context.Context, addr, id string, base, wobble, overload float64, interval time.Duration, dialOpts []pragma.DialOption) error {
+	client, err := pragma.DialMessageCenter(addr, dialOpts...)
 	if err != nil {
 		return err
 	}
@@ -148,6 +184,9 @@ func runNode(ctx context.Context, addr, id string, base, wobble, overload float6
 		[]pragma.EventRule{{Sensor: "load", Above: &overload, Event: "overload"}})
 	if err != nil {
 		return err
+	}
+	agent.OnError = func(err error) {
+		fmt.Fprintf(os.Stderr, "[%s] agent: %v\n", id, err)
 	}
 	fmt.Printf("agent %s joined %s (base load %.2f)\n", id, addr, base)
 	agent.Run(ctx, interval)

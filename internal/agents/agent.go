@@ -103,6 +103,10 @@ type ComponentAgent struct {
 	// StateTopic overrides the topic state reports are published on
 	// (default TopicState); group members publish on their group topic.
 	StateTopic string
+	// OnError, when set, receives asynchronous errors from Run — failed
+	// polls and undecodable commands that the loop would otherwise drop.
+	// It runs on the agent goroutine and must not block.
+	OnError func(error)
 
 	port      Port
 	inbox     <-chan Message
@@ -240,18 +244,28 @@ func (ca *ComponentAgent) Run(ctx context.Context, interval time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			ca.Poll() // best effort; errors are visible through reports
+			if _, err := ca.Poll(); err != nil {
+				ca.reportErr(err)
+			}
 		case m, ok := <-ca.inbox:
 			if !ok {
 				return
 			}
 			if m.Kind == "command" {
 				var cmd Command
-				if Decode(m, &cmd) == nil {
-					ca.HandleCommand(cmd)
+				if err := Decode(m, &cmd); err != nil {
+					ca.reportErr(fmt.Errorf("agents: %s: bad command: %w", ca.ID, err))
+				} else if err := ca.HandleCommand(cmd); err != nil {
+					ca.reportErr(err)
 				}
 			}
 		}
+	}
+}
+
+func (ca *ComponentAgent) reportErr(err error) {
+	if ca.OnError != nil {
+		ca.OnError(err)
 	}
 }
 

@@ -1,0 +1,153 @@
+package agents
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"github.com/pragma-grid/pragma/internal/chaos"
+)
+
+// halfConn adapts a bytes.Buffer into the net.Conn the chaos wrapper
+// expects, so frame encodings can be pushed through the corruption path
+// and captured as fuzz seeds.
+type halfConn struct {
+	net.Conn // nil; only Write is used
+	buf      bytes.Buffer
+}
+
+func (h *halfConn) Write(p []byte) (int, error) { return h.buf.Write(p) }
+
+// corruptedFrames runs the canonical wire frames through a chaos
+// connection with certain corruption, yielding the bit-flipped encodings
+// real links produce. These seed the decode fuzzer with realistic
+// near-valid input.
+func corruptedFrames(seed int64) [][]byte {
+	frames := []frame{
+		{Op: "register", Port: "node-0"},
+		{Op: "subscribe", Port: "node-0", Topic: "events"},
+		{Op: "send", Msg: Message{From: "a", To: "b", Kind: "state", Payload: json.RawMessage(`{"load":0.5}`)}},
+		{Op: "publish", Msg: Message{From: "a", Topic: "events", Kind: "event"}},
+		{Op: "ping"},
+		{Op: "error", Err: "boom"},
+	}
+	var out [][]byte
+	for i, f := range frames {
+		hc := &halfConn{}
+		cc := chaos.Wrap(hc, chaos.Config{Seed: seed + int64(i), CorruptRate: 1})
+		if err := json.NewEncoder(cc).Encode(f); err != nil {
+			continue
+		}
+		out = append(out, append([]byte(nil), hc.buf.Bytes()...))
+	}
+	return out
+}
+
+// FuzzFrameDecode feeds arbitrary bytes into a Center's wire handler and
+// requires that malformed input can never panic the broker or leave it
+// unusable: after the connection dies, local registration and delivery
+// must still work.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"register","port":"n"}` + "\n"))
+	f.Add([]byte(`{"op":"send","msg":{"from":"a","to":"b","kind":"k"}}` + "\n"))
+	f.Add([]byte(`{"op":"subscribe","port":"n","topic":"t"}` + "\n"))
+	f.Add([]byte(`{"op":"ping"}` + "\n" + `{"op":"publish","msg":{"from":"a","topic":"t","kind":"k"}}` + "\n"))
+	f.Add([]byte(`{"op":"register","port":`))
+	f.Add([]byte("\x00\xff{not json at all"))
+	f.Add([]byte(`{"op":"deliver","msg":{"payload":{"nested":[1,2,{"x":null}]}}}` + "\n"))
+	for _, b := range corruptedFrames(1) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCenter(WithCenterErrorHandler(func(error) {}))
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			c.handleConn(server)
+			close(done)
+		}()
+		// Drain broker responses so its writes never block the pipe.
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := client.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		client.Write(data) // error is fine: handler may have hung up
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("wire handler did not terminate")
+		}
+		// The broker must survive whatever the bytes did: a local port
+		// still registers (the dead connection's remote ports were
+		// reclaimed) and routes traffic.
+		ch, err := c.Register("probe", 1)
+		if err != nil {
+			t.Fatalf("center unusable after fuzz input: %v", err)
+		}
+		if err := c.Send(Message{From: "probe", To: "probe", Kind: "alive"}); err != nil {
+			t.Fatalf("center cannot route after fuzz input: %v", err)
+		}
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatal("local delivery broken after fuzz input")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks that any frame built from fuzzer-chosen
+// fields survives a wire encode/decode cycle unchanged, so the protocol
+// cannot silently mangle port names, topics or payloads.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("register", "node-0", "", "", "", "", `{"x":1}`)
+	f.Add("send", "", "events", "a", "b", "state", `null`)
+	f.Add("error", "", "", "", "", "", ``)
+	f.Fuzz(func(t *testing.T, op, port, topic, from, to, kind, payload string) {
+		in := frame{
+			Op:    op,
+			Port:  port,
+			Topic: topic,
+			Msg:   Message{From: from, To: to, Kind: kind},
+		}
+		if json.Valid([]byte(payload)) && utf8.ValidString(payload) {
+			in.Msg.Payload = json.RawMessage(payload)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(in); err != nil {
+			t.Skip() // unencodable strings (invalid UTF-8) are not wire frames
+		}
+		var out frame
+		if err := json.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		// JSON encoding replaces invalid UTF-8 with U+FFFD; normalize the
+		// input the same way before comparing.
+		norm := func(s string) string { return string([]rune(s)) }
+		if out.Op != norm(in.Op) || out.Port != norm(in.Port) || out.Topic != norm(in.Topic) {
+			t.Fatalf("frame fields changed: %+v -> %+v", in, out)
+		}
+		if out.Msg.From != norm(in.Msg.From) || out.Msg.To != norm(in.Msg.To) || out.Msg.Kind != norm(in.Msg.Kind) {
+			t.Fatalf("message fields changed: %+v -> %+v", in.Msg, out.Msg)
+		}
+		if in.Msg.Payload != nil && !bytes.Equal(compactJSON(t, in.Msg.Payload), compactJSON(t, out.Msg.Payload)) {
+			t.Fatalf("payload changed: %s -> %s", in.Msg.Payload, out.Msg.Payload)
+		}
+	})
+}
+
+func compactJSON(t *testing.T, raw json.RawMessage) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("invalid JSON slipped through: %v", err)
+	}
+	return buf.Bytes()
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Message is the unit of communication in the control network. "In the MC,
@@ -70,14 +71,53 @@ type Center struct {
 	remote map[string]*wireConn // ports hosted by TCP clients
 	subs   map[string]map[string]bool
 	closed bool
+
+	// Wire options, fixed at construction.
+	heartbeatTimeout time.Duration
+	writeTimeout     time.Duration
+	onError          func(error)
+}
+
+// CenterOption configures the Message Center's wire behavior.
+type CenterOption func(*Center)
+
+// WithHeartbeatTimeout arms server-side liveness eviction: a TCP client
+// that sends no frame (heartbeats included) for the given duration is
+// disconnected and its ports reclaimed. 0 (the default) disables eviction.
+func WithHeartbeatTimeout(d time.Duration) CenterOption {
+	return func(c *Center) { c.heartbeatTimeout = d }
+}
+
+// WithCenterWriteTimeout arms a per-frame write deadline on server-side
+// wire writes, so one stalled client cannot wedge delivery to it forever.
+func WithCenterWriteTimeout(d time.Duration) CenterOption {
+	return func(c *Center) { c.writeTimeout = d }
+}
+
+// WithCenterErrorHandler installs a sink for wire-level failures observed
+// by connection handlers (decode errors, evictions). The handler runs on
+// handler goroutines and must not block.
+func WithCenterErrorHandler(fn func(error)) CenterOption {
+	return func(c *Center) { c.onError = fn }
 }
 
 // NewCenter creates an empty Message Center.
-func NewCenter() *Center {
-	return &Center{
+func NewCenter(opts ...CenterOption) *Center {
+	c := &Center{
 		local:  make(map[string]chan Message),
 		remote: make(map[string]*wireConn),
 		subs:   make(map[string]map[string]bool),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// reportErr routes a wire-level failure to the configured handler.
+func (c *Center) reportErr(err error) {
+	if c.onError != nil {
+		c.onError(err)
 	}
 }
 

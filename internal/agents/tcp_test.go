@@ -1,7 +1,10 @@
 package agents
 
 import (
+	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,7 +14,13 @@ import (
 // startCenter serves a Message Center on a loopback listener.
 func startCenter(t *testing.T) (*Center, string) {
 	t.Helper()
-	c := NewCenter()
+	return startCenterOpts(t)
+}
+
+// startCenterOpts serves a Message Center built with the given options.
+func startCenterOpts(t *testing.T, opts ...CenterOption) (*Center, string) {
+	t.Helper()
+	c := NewCenter(opts...)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -270,5 +279,395 @@ func TestDistributedControlNetwork(t *testing.T) {
 			}
 			break
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection helpers
+
+// faultConn wraps a real TCP connection with test-controlled failures:
+// writes that die mid-frame, reads that are cut while the peer side stays
+// open (a half-open link), and optional suppression of Close so the
+// server keeps the stale registration alive.
+type faultConn struct {
+	net.Conn
+	mu         sync.Mutex
+	writeQuota int64 // bytes still allowed; -1 = unlimited
+	readsCut   bool
+	keepOpen   bool // Close() leaves the underlying conn open
+}
+
+func newFaultConn(c net.Conn) *faultConn {
+	return &faultConn{Conn: c, writeQuota: -1}
+}
+
+// failNextWriteAfter arms a mid-frame failure: the next write delivers
+// exactly n bytes to the wire, then the connection dies.
+func (f *faultConn) failNextWriteAfter(n int64) {
+	f.mu.Lock()
+	f.writeQuota = n
+	f.mu.Unlock()
+}
+
+// cutReads makes all reads fail immediately without touching the peer
+// side; keepOpen suppresses Close so the server still sees a live conn.
+func (f *faultConn) cutReads(keepOpen bool) {
+	f.mu.Lock()
+	f.readsCut = true
+	f.keepOpen = keepOpen
+	f.mu.Unlock()
+	// Unblock any read already parked in the kernel.
+	f.Conn.SetReadDeadline(time.Now())
+}
+
+// hardClose closes the underlying connection regardless of keepOpen.
+func (f *faultConn) hardClose() { f.Conn.Close() }
+
+func (f *faultConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	cut := f.readsCut
+	f.mu.Unlock()
+	if cut {
+		return 0, fmt.Errorf("faultconn: reads cut")
+	}
+	n, err := f.Conn.Read(p)
+	f.mu.Lock()
+	cut = f.readsCut
+	f.mu.Unlock()
+	if cut {
+		return 0, fmt.Errorf("faultconn: reads cut")
+	}
+	return n, err
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	quota := f.writeQuota
+	f.mu.Unlock()
+	if quota < 0 {
+		return f.Conn.Write(p)
+	}
+	if quota > int64(len(p)) {
+		f.mu.Lock()
+		f.writeQuota -= int64(len(p))
+		f.mu.Unlock()
+		return f.Conn.Write(p)
+	}
+	n, _ := f.Conn.Write(p[:quota])
+	f.Conn.Close()
+	return n, fmt.Errorf("faultconn: write quota exhausted mid-frame")
+}
+
+func (f *faultConn) Close() error {
+	f.mu.Lock()
+	keep := f.keepOpen
+	f.mu.Unlock()
+	if keep {
+		return nil
+	}
+	return f.Conn.Close()
+}
+
+// faultDialer dials real TCP and wraps every connection in a faultConn,
+// keeping them accessible to the test in dial order.
+type faultDialer struct {
+	mu    sync.Mutex
+	conns []*faultConn
+}
+
+func (d *faultDialer) dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := newFaultConn(c)
+	d.mu.Lock()
+	d.conns = append(d.conns, fc)
+	d.mu.Unlock()
+	return fc, nil
+}
+
+func (d *faultDialer) conn(i int) *faultConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conns[i]
+}
+
+func (d *faultDialer) count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
+}
+
+// ---------------------------------------------------------------------------
+// Disconnect / reconnect paths
+
+// TestTCPFaultRecovery drives the client through one injected link
+// failure per case and requires full recovery: buffered sends replayed,
+// ports re-registered on the same mailbox channel, traffic flowing in
+// both directions afterwards.
+func TestTCPFaultRecovery(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault func(t *testing.T, fd *faultDialer)
+	}{
+		{
+			// The connection dies with half a frame on the wire: the
+			// server must discard the torn frame (and the conn), the
+			// client must replay the buffered message after reconnect.
+			name: "mid-frame-drop",
+			fault: func(t *testing.T, fd *faultDialer) {
+				fd.conn(0).failNextWriteAfter(10)
+			},
+		},
+		{
+			// A clean drop between frames: the peer sees EOF.
+			name: "clean-drop",
+			fault: func(t *testing.T, fd *faultDialer) {
+				fd.conn(0).hardClose()
+			},
+		},
+		{
+			// A half-open link: the client sees the loss, the server
+			// does not. Reconnecting immediately races re-registration
+			// against the broker's stale registration; the client must
+			// retry until liveness eviction reclaims the port.
+			name: "half-open-register-race",
+			fault: func(t *testing.T, fd *faultDialer) {
+				fc := fd.conn(0)
+				fc.cutReads(true)
+				// The stale server-side conn dies 120ms later — after
+				// the first re-registration attempts have raced it.
+				go func() {
+					time.Sleep(120 * time.Millisecond)
+					fc.hardClose()
+				}()
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			center, addr := startCenterOpts(t, WithHeartbeatTimeout(400*time.Millisecond))
+			sink, err := center.Register("sink-"+tc.name, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fd := &faultDialer{}
+			cl, err := Dial(addr,
+				WithDialer(fd.dial),
+				WithReconnect(true),
+				WithBackoff(10*time.Millisecond, 100*time.Millisecond),
+				WithHeartbeat(50*time.Millisecond),
+				WithOpTimeout(3*time.Second),
+				WithSeed(7),
+				WithErrorHandler(func(error) {}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cl.Close() })
+			in, err := cl.Register("src", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Baseline: the healthy link delivers.
+			if err := cl.Send(Message{From: "src", To: "sink-" + tc.name, Kind: "m-0"}); err != nil {
+				t.Fatal(err)
+			}
+			if m := recvT(t, sink); m.Kind != "m-0" {
+				t.Fatalf("baseline got %+v", m)
+			}
+
+			tc.fault(t, fd)
+
+			// Sends issued around the failure either go out on the dying
+			// conn or are buffered and replayed; none may be lost.
+			for i := 1; i <= 3; i++ {
+				if err := cl.Send(Message{From: "src", To: "sink-" + tc.name, Kind: fmt.Sprintf("m-%d", i)}); err != nil {
+					t.Fatalf("send %d rejected: %v", i, err)
+				}
+			}
+			want := map[string]bool{"m-1": true, "m-2": true, "m-3": true}
+			deadline := time.Now().Add(10 * time.Second)
+			for len(want) > 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("missing messages after recovery: %v", want)
+				}
+				select {
+				case m := <-sink:
+					delete(want, m.Kind)
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+
+			// The reverse direction must come back on the ORIGINAL
+			// mailbox channel — re-registration reuses it. Until the
+			// broker evicts a stale half-open registration, sends may
+			// "succeed" into the dead connection, so retry until a
+			// message actually arrives.
+			deadline = time.Now().Add(10 * time.Second)
+		reverse:
+			for {
+				if time.Now().After(deadline) {
+					t.Fatal("reverse direction never recovered")
+				}
+				center.Send(Message{From: "sink", To: "src", Kind: "back"})
+				select {
+				case m := <-in:
+					if m.Kind != "back" {
+						t.Fatalf("reverse got %+v", m)
+					}
+					break reverse
+				case <-time.After(20 * time.Millisecond):
+				}
+			}
+			if got := cl.Stats().Reconnects; got < 1 {
+				t.Fatalf("Reconnects = %d, want >= 1", got)
+			}
+			if fd.count() < 2 {
+				t.Fatalf("dialer used %d conns, want >= 2", fd.count())
+			}
+		})
+	}
+}
+
+// TestTCPHeartbeatEviction: the broker evicts clients that stop sending
+// frames; heartbeating clients survive arbitrarily long idle periods.
+func TestTCPHeartbeatEviction(t *testing.T) {
+	center, addr := startCenterOpts(t, WithHeartbeatTimeout(150*time.Millisecond))
+	// A silent client: no heartbeats, no traffic after registration.
+	lazy := dialT(t, addr)
+	if _, err := lazy.Register("lazy", 4); err != nil {
+		t.Fatal(err)
+	}
+	// A heartbeating client with the same traffic pattern.
+	alive, err := Dial(addr, WithHeartbeat(40*time.Millisecond), WithErrorHandler(func(error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { alive.Close() })
+	aliveIn, err := alive.Register("alive", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well past several eviction windows...
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := center.Send(Message{From: "x", To: "lazy", Kind: "y"}); err != nil {
+			break // evicted
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent client never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// ...the heartbeating client is still routable.
+	if err := center.Send(Message{From: "x", To: "alive", Kind: "y"}); err != nil {
+		t.Fatalf("heartbeating client evicted: %v", err)
+	}
+	if m := recvT(t, aliveIn); m.Kind != "y" {
+		t.Fatalf("got %+v", m)
+	}
+	if alive.Degraded() {
+		t.Fatal("heartbeating client reports degraded")
+	}
+	if alive.Stats().HeartbeatsSent == 0 {
+		t.Fatal("no heartbeats recorded")
+	}
+}
+
+// TestTCPMailboxOverflowAccounted exercises the drop-on-overflow branch of
+// the client read loop: deliveries beyond the mailbox capacity are
+// discarded but counted, and in-capacity ones still arrive.
+func TestTCPMailboxOverflowAccounted(t *testing.T) {
+	center, addr := startCenter(t)
+	cl := dialT(t, addr)
+	in, err := cl.Register("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 5
+	for i := 0; i < sent; i++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := center.Send(Message{From: "x", To: "tiny", Kind: fmt.Sprintf("m-%d", i)}); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("port tiny never became routable")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := cl.Stats()
+		if s.Delivered+s.MailboxDrops == sent {
+			if s.Delivered != 1 || s.MailboxDrops != sent-1 {
+				t.Fatalf("Delivered=%d MailboxDrops=%d, want 1 and %d", s.Delivered, s.MailboxDrops, sent-1)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats stuck at %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m := recvT(t, in); m.Kind != "m-0" {
+		t.Fatalf("survivor = %+v, want the first message", m)
+	}
+}
+
+// TestTCPSendBufferBounded: during an outage the in-flight buffer accepts
+// exactly its capacity and then fails fast, with the rejects accounted.
+func TestTCPSendBufferBounded(t *testing.T) {
+	_, addr := startCenter(t)
+	fd := &faultDialer{}
+	var lost atomic.Bool
+	cl, err := Dial(addr,
+		WithDialer(func(a string) (net.Conn, error) {
+			if lost.Load() {
+				return nil, fmt.Errorf("dial blocked by test")
+			}
+			return fd.dial(a)
+		}),
+		WithReconnect(true),
+		WithBackoff(20*time.Millisecond, 100*time.Millisecond),
+		WithSendBuffer(4),
+		WithSeed(3),
+		WithErrorHandler(func(error) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.Register("src", 4); err != nil {
+		t.Fatal(err)
+	}
+	lost.Store(true)
+	fd.conn(0).hardClose()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cl.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed the outage")
+		}
+		// Poke the connection so the writer path sees the failure even
+		// if the read loop hasn't yet.
+		cl.Send(Message{From: "src", To: "x", Kind: "poke"})
+		time.Sleep(time.Millisecond)
+	}
+	// Fill whatever buffer space the pokes left, then require rejection.
+	deadline = time.Now().Add(5 * time.Second)
+	var rejected bool
+	for time.Now().Before(deadline) {
+		if err := cl.Send(Message{From: "src", To: "x", Kind: "fill"}); err != nil {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("sends never hit the bounded buffer limit")
+	}
+	if cl.Stats().BufferRejects < 1 {
+		t.Fatalf("BufferRejects = %d, want >= 1", cl.Stats().BufferRejects)
 	}
 }

@@ -20,10 +20,11 @@ import (
 // repartitioning and migration overheads.
 //
 // The strategy owns a live control network: construct it with
-// NewAgentManaged and use it for a single Run (it accumulates state).
+// NewAgentManaged (in-process Center) or NewAgentManagedOn (caller-supplied
+// ports, e.g. TCP clients) and use it for a single Run (it accumulates
+// state).
 type AgentManaged struct {
 	meta    *MetaPartitioner
-	center  *agents.Center
 	adm     *agents.ADM
 	nodes   []*agents.ComponentAgent
 	loadRef []float64
@@ -32,15 +33,43 @@ type AgentManaged struct {
 	// repartitioning (fired by node agents).
 	ImbalanceEvent float64
 
+	// Health reports control-network liveness; nil means always healthy.
+	// When it returns false the strategy runs in degraded mode: agent
+	// polling and ADM consolidation are skipped (the network is
+	// partitioned) and partitioning decisions fall back to local-only
+	// policy — pure octant classification from the trace, no event gating.
+	// Typically wired to pragma's Client.Degraded over the node clients.
+	Health func() bool
+
 	prevOctant octant.Octant
 	current    *partition.Assignment
 	// Repartitions counts how many regrids actually repartitioned.
 	Repartitions int
+	// DegradedRegrids counts regrids decided in degraded (local-only)
+	// mode because Health reported the control network down.
+	DegradedRegrids int
 }
 
-// NewAgentManaged wires the control network for nprocs simulated nodes.
+// NewAgentManaged wires the control network for nprocs simulated nodes on
+// an in-process Message Center.
 func NewAgentManaged(nprocs int, imbalanceEventPct float64) (*AgentManaged, error) {
 	if nprocs < 1 {
+		return nil, fmt.Errorf("core: agent-managed needs at least one node")
+	}
+	center := agents.NewCenter()
+	ports := make([]agents.Port, nprocs)
+	for i := range ports {
+		ports[i] = center
+	}
+	return NewAgentManagedOn(center, ports, imbalanceEventPct)
+}
+
+// NewAgentManagedOn wires the control network over caller-supplied ports:
+// the ADM registers on admPort (the broker side) and one component agent
+// per entry of nodePorts (e.g. TCP clients of a served Center, emulating a
+// distributed control network). len(nodePorts) fixes the node count.
+func NewAgentManagedOn(admPort agents.Port, nodePorts []agents.Port, imbalanceEventPct float64) (*AgentManaged, error) {
+	if len(nodePorts) < 1 {
 		return nil, fmt.Errorf("core: agent-managed needs at least one node")
 	}
 	if imbalanceEventPct <= 0 {
@@ -48,17 +77,16 @@ func NewAgentManaged(nprocs int, imbalanceEventPct float64) (*AgentManaged, erro
 	}
 	am := &AgentManaged{
 		meta:           NewMetaPartitioner(),
-		center:         agents.NewCenter(),
-		loadRef:        make([]float64, nprocs),
+		loadRef:        make([]float64, len(nodePorts)),
 		ImbalanceEvent: imbalanceEventPct,
 	}
-	adm, err := agents.NewADM("adm", am.center, am.meta.Policy)
+	adm, err := agents.NewADM("adm", admPort, am.meta.Policy)
 	if err != nil {
 		return nil, err
 	}
 	am.adm = adm
 	threshold := 1 + imbalanceEventPct/100
-	for i := 0; i < nprocs; i++ {
+	for i, port := range nodePorts {
 		i := i
 		sensor := agents.SensorFunc{
 			SensorName: "relative-load",
@@ -69,7 +97,7 @@ func NewAgentManaged(nprocs int, imbalanceEventPct float64) (*AgentManaged, erro
 			Above:  &threshold,
 			Event:  "load-imbalance",
 		}
-		ca, err := agents.NewComponentAgent(fmt.Sprintf("node-%d", i), am.center,
+		ca, err := agents.NewComponentAgent(fmt.Sprintf("node-%d", i), port,
 			[]agents.Sensor{sensor}, nil, []agents.EventRule{rule})
 		if err != nil {
 			return nil, err
@@ -78,6 +106,10 @@ func NewAgentManaged(nprocs int, imbalanceEventPct float64) (*AgentManaged, erro
 	}
 	return am, nil
 }
+
+// DegradedCount reports how many regrids were decided in degraded mode;
+// core.Run lifts it into RunResult.DegradedRegrids.
+func (am *AgentManaged) DegradedCount() int { return am.DegradedRegrids }
 
 // Name implements Strategy.
 func (am *AgentManaged) Name() string { return "agent-managed" }
@@ -93,10 +125,18 @@ func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string,
 	}
 	oct := octant.Classify(state, am.meta.Thresholds)
 
+	// When the control network is partitioned, skip the agent/ADM round
+	// entirely — no polls can reach the broker — and decide from local
+	// state alone: repartition on octant change, reproject otherwise.
+	degraded := am.Health != nil && !am.Health()
+	if degraded {
+		am.DegradedRegrids++
+	}
+
 	// Publish per-node relative loads from the outgoing assignment, let
 	// the agents poll, and consolidate at the ADM.
 	needRepartition := am.current == nil || oct != am.prevOctant
-	if am.current != nil {
+	if !degraded && am.current != nil {
 		work := am.current.Work()
 		var total float64
 		for _, w := range work {

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"github.com/pragma-grid/pragma/internal/agents"
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/partition"
 	"github.com/pragma-grid/pragma/internal/samr"
@@ -39,6 +40,78 @@ func TestAgentManagedRepartitionsOnlyOnEvents(t *testing.T) {
 	if reprojected+am.Repartitions != len(tr.Snapshots) {
 		t.Fatalf("reprojected %d + repartitions %d != %d snapshots",
 			reprojected, am.Repartitions, len(tr.Snapshots))
+	}
+}
+
+func TestAgentManagedDegradedFallback(t *testing.T) {
+	// The control network partitions mid-run: from regrid 2 on, Health
+	// reports it down. The strategy must keep completing regrids with the
+	// local-only policy instead of erroring out, and account for them.
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(8, 1e5, 512, 100)
+	am, err := NewAgentManaged(8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const degradeAt = 2
+	partitioned := false
+	am.Health = func() bool { return !partitioned }
+	res, err := Run(tr, am, RunConfig{
+		Machine: machine,
+		NProcs:  8,
+		WorkModel: func(idx int) samr.WorkModel {
+			// Run builds the step context (and thus calls this) before
+			// each Assign, so the flip lands before regrid degradeAt.
+			if idx >= degradeAt {
+				partitioned = true
+			}
+			return samr.UniformWorkModel{}
+		},
+	})
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	want := len(tr.Snapshots) - degradeAt
+	if am.DegradedRegrids != want {
+		t.Fatalf("DegradedRegrids = %d, want %d", am.DegradedRegrids, want)
+	}
+	if res.DegradedRegrids != want {
+		t.Fatalf("RunResult.DegradedRegrids = %d, want %d (signal not threaded up)", res.DegradedRegrids, want)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no time accumulated")
+	}
+}
+
+func TestAgentManagedOnSharedCenterMatchesDefault(t *testing.T) {
+	// NewAgentManaged is now sugar over NewAgentManagedOn with every port
+	// bound to one in-process center; both must drive a run identically.
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(8, 1e5, 512, 100)
+	amA, err := NewAgentManaged(8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := agents.NewCenter()
+	ports := make([]agents.Port, 8)
+	for i := range ports {
+		ports[i] = center
+	}
+	amB, err := NewAgentManagedOn(center, ports, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := Run(tr, amA, RunConfig{Machine: machine, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Run(tr, amB, RunConfig{Machine: machine, NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.TotalTime != resB.TotalTime || amA.Repartitions != amB.Repartitions {
+		t.Fatalf("in-process (%.4f, %d) and explicit-port (%.4f, %d) runs diverge",
+			resA.TotalTime, amA.Repartitions, resB.TotalTime, amB.Repartitions)
 	}
 }
 

@@ -64,6 +64,10 @@ type RunResult struct {
 	// not complete (work on a dead node) and were repaired by re-invoking
 	// the strategy.
 	Recoveries int
+	// DegradedRegrids counts regrids the strategy decided in degraded
+	// mode (control network partitioned, local-only policy); nonzero only
+	// for strategies exposing a DegradedCount, like AgentManaged.
+	DegradedRegrids int
 	// Steps is the number of coarse steps simulated.
 	Steps int
 	// Snapshots records per-regrid details.
@@ -203,6 +207,9 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		prevA, prevH = a, snap.H
 	}
 	res.TotalTime = simTime
+	if dg, ok := strat.(interface{ DegradedCount() int }); ok {
+		res.DegradedRegrids = dg.DegradedCount()
+	}
 	n := float64(len(tr.Snapshots))
 	res.AvgImbalance = imbSum / n
 	res.AMREfficiency = effSum / n

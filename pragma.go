@@ -25,9 +25,11 @@ package pragma
 
 import (
 	"io"
+	"net"
 
 	"github.com/pragma-grid/pragma/internal/agents"
 	"github.com/pragma-grid/pragma/internal/astro"
+	"github.com/pragma-grid/pragma/internal/chaos"
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/core"
 	"github.com/pragma-grid/pragma/internal/engine"
@@ -128,6 +130,21 @@ type (
 	Template = agents.Template
 	// TemplateRegistry stores and discovers templates.
 	TemplateRegistry = agents.Registry
+
+	// DialOption configures DialMessageCenter (reconnect, heartbeats,
+	// deadlines, error handlers, chaos dialers).
+	DialOption = agents.DialOption
+	// CenterOption configures NewMessageCenter's wire behavior (liveness
+	// eviction, write deadlines).
+	CenterOption = agents.CenterOption
+	// ClientStats counts an AgentClient's failure-path events.
+	ClientStats = agents.ClientStats
+	// ChaosConfig parameterizes deterministic fault injection on control-
+	// network connections (latency, jitter, drops, corruption).
+	ChaosConfig = chaos.Config
+	// AgentManagedStrategy is the agent-managed adaptation strategy with a
+	// live control network and degraded-mode fallback.
+	AgentManagedStrategy = core.AgentManaged
 
 	// HydroGrid is a uniform grid of the built-in compressible-flow solver.
 	HydroGrid = hydro.Grid
@@ -275,11 +292,63 @@ func FailureAware(inner Strategy) Strategy { return &core.FailureAware{Inner: in
 
 // NewMessageCenter creates an empty agent Message Center. Serve TCP
 // clients with (*MessageCenter).Serve to emulate a multi-node control
-// network.
-func NewMessageCenter() *MessageCenter { return agents.NewCenter() }
+// network. Options arm server-side robustness: WithHeartbeatTimeout
+// evicts silent clients, WithCenterWriteTimeout bounds wire writes.
+func NewMessageCenter(opts ...CenterOption) *MessageCenter { return agents.NewCenter(opts...) }
 
-// DialMessageCenter connects to a Message Center served over TCP.
-func DialMessageCenter(addr string) (*AgentClient, error) { return agents.Dial(addr) }
+// DialMessageCenter connects to a Message Center served over TCP. Options
+// harden the link: WithReconnect replays registrations and buffered sends
+// after an outage, WithHeartbeat detects dead brokers, WithErrorHandler
+// receives asynchronous failures, WithDialer plugs in ChaosDialer.
+func DialMessageCenter(addr string, opts ...DialOption) (*AgentClient, error) {
+	return agents.Dial(addr, opts...)
+}
+
+// Client/Center option constructors, re-exported from internal/agents.
+var (
+	WithDialer             = agents.WithDialer
+	WithReconnect          = agents.WithReconnect
+	WithBackoff            = agents.WithBackoff
+	WithMaxRetries         = agents.WithMaxRetries
+	WithHeartbeat          = agents.WithHeartbeat
+	WithWriteTimeout       = agents.WithWriteTimeout
+	WithOpTimeout          = agents.WithOpTimeout
+	WithSendBuffer         = agents.WithSendBuffer
+	WithErrorHandler       = agents.WithErrorHandler
+	WithSeed               = agents.WithSeed
+	WithHeartbeatTimeout   = agents.WithHeartbeatTimeout
+	WithCenterWriteTimeout = agents.WithCenterWriteTimeout
+	WithCenterErrorHandler = agents.WithCenterErrorHandler
+)
+
+// ChaosDialer returns a TCP dialer injecting deterministic faults; pass it
+// to DialMessageCenter via WithDialer to chaos-test a control network.
+func ChaosDialer(cfg ChaosConfig) func(addr string) (net.Conn, error) { return chaos.Dialer(cfg) }
+
+// WrapChaosListener wraps a listener so every accepted connection draws
+// faults from one seeded stream — chaos injection on the broker side.
+func WrapChaosListener(ln net.Listener, cfg ChaosConfig) net.Listener {
+	return chaos.WrapListener(ln, cfg)
+}
+
+// WrapChaosConn wraps a single connection with its own fault injector.
+func WrapChaosConn(c net.Conn, cfg ChaosConfig) net.Conn { return chaos.Wrap(c, cfg) }
+
+// NewAgentManaged returns the §4.7 agent-managed adaptation strategy on an
+// in-process control network: node agents gate repartitioning on threshold
+// events instead of repartitioning at every regrid.
+func NewAgentManaged(nprocs int, imbalanceEventPct float64) (*AgentManagedStrategy, error) {
+	return core.NewAgentManaged(nprocs, imbalanceEventPct)
+}
+
+// NewAgentManagedOn is NewAgentManaged over caller-supplied ports: the ADM
+// registers on admPort and one component agent per node port (e.g. TCP
+// clients of a served MessageCenter). Set the strategy's Health field —
+// typically over AgentClient.Degraded — to enable degraded-mode fallback
+// when the control network partitions.
+func NewAgentManagedOn(admPort MessagePort, nodePorts []MessagePort, imbalanceEventPct float64) (*AgentManagedStrategy, error) {
+	return core.NewAgentManagedOn(admPort, nodePorts, imbalanceEventPct)
+}
 
 // NewComponentAgent registers a component agent on the port with its
 // sensors, actuators and threshold event rules.
