@@ -16,10 +16,17 @@
 // crosses the overload threshold trigger events, the ADM queries the
 // policy base and broadcasts a repartition command, and each node's
 // actuator prints when it fires.
+//
+// A third mode replays an adaptation trace with checkpoint/restart, for
+// rehearsing crash recovery:
+//
+//	pragma-node -replay -checkpoint-dir ./ckpt -crash-at 8   # dies mid-run
+//	pragma-node -replay -checkpoint-dir ./ckpt -resume       # picks it up
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -29,6 +36,9 @@ import (
 	"time"
 
 	"github.com/pragma-grid/pragma"
+	"github.com/pragma-grid/pragma/internal/chaos"
+	"github.com/pragma-grid/pragma/internal/core"
+	"github.com/pragma-grid/pragma/internal/partition"
 )
 
 func main() {
@@ -47,6 +57,19 @@ func main() {
 		wTimeout  = flag.Duration("write-timeout", 5*time.Second, "broker: wire write deadline (0 disables; with -serve)")
 		heartbeat = flag.Duration("heartbeat", time.Second, "node: ping the broker this often (0 disables; with -join)")
 		reconnect = flag.Bool("reconnect", true, "node: reconnect with backoff and replay state after link loss (with -join)")
+
+		// Trace replay with checkpoint/restart.
+		replay       = flag.Bool("replay", false, "replay an adaptation trace on a simulated machine")
+		traceName    = flag.String("trace", "small", "replay: RM3D trace configuration (small|paper)")
+		strategyName = flag.String("strategy", "adaptive", "replay: adaptive|system-sensitive|proactive or a partitioner name (SFC, G-MISP+SP, ...)")
+		procs        = flag.Int("procs", 8, "replay: processor count")
+		ckptDir      = flag.String("checkpoint-dir", "", "replay: persist run state here at regrid boundaries")
+		ckptEvery    = flag.Int("checkpoint-every", 1, "replay: checkpoint after every k-th regrid")
+		ckptKeep     = flag.Int("checkpoint-keep", 3, "replay: checkpoint files to retain (negative = all)")
+		resume       = flag.Bool("resume", false, "replay: continue from the latest valid checkpoint")
+		crashAt      = flag.Int("crash-at", 0, "replay: inject a crash at the n-th regrid (rehearsal; 0 disables)")
+		emulate      = flag.Bool("emulate", false, "replay: then run the final snapshot on the message-passing engine")
+		stepDeadline = flag.Duration("step-deadline", 30*time.Second, "emulation: per-step barrier deadline (0 = none, may hang on faults)")
 
 		// Fault injection on the node's uplink, for rehearsing failures.
 		chaosDrop    = flag.Float64("chaos-drop", 0, "inject: per-op connection drop probability (with -join)")
@@ -67,6 +90,15 @@ func main() {
 	}
 
 	switch {
+	case *replay:
+		if err := runReplay(replayConfig{
+			trace: *traceName, strategy: *strategyName, procs: *procs,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
+			resume: *resume, crashAt: *crashAt,
+			emulate: *emulate, stepDeadline: *stepDeadline,
+		}); err != nil {
+			fail(err)
+		}
 	case *serve != "":
 		if err := runBroker(ctx, *serve, *interval, *hbTimeout, *wTimeout); err != nil {
 			fail(err)
@@ -191,6 +223,171 @@ func runNode(ctx context.Context, addr, id string, base, wobble, overload float6
 	fmt.Printf("agent %s joined %s (base load %.2f)\n", id, addr, base)
 	agent.Run(ctx, interval)
 	fmt.Printf("agent %s leaving\n", id)
+	return nil
+}
+
+type replayConfig struct {
+	trace, strategy     string
+	procs               int
+	ckptDir             string
+	ckptEvery, ckptKeep int
+	resume              bool
+	crashAt             int
+	emulate             bool
+	stepDeadline        time.Duration
+}
+
+// crashingStrategy injects a deterministic crash at the n-th regrid so
+// operators can rehearse the -resume path without kill -9.
+type crashingStrategy struct {
+	inner pragma.Strategy
+	fp    *chaos.FaultPoint
+}
+
+func (c crashingStrategy) Name() string { return c.inner.Name() }
+func (c crashingStrategy) Assign(ctx *core.StepContext) (*partition.Assignment, string, error) {
+	if err := c.fp.Check(); err != nil {
+		return nil, "", err
+	}
+	return c.inner.Assign(ctx)
+}
+
+func (c crashingStrategy) CheckpointState() ([]byte, error) {
+	if cs, ok := c.inner.(core.CheckpointableStrategy); ok {
+		return cs.CheckpointState()
+	}
+	return nil, nil
+}
+
+func (c crashingStrategy) RestoreState(data []byte) error {
+	if cs, ok := c.inner.(core.CheckpointableStrategy); ok {
+		return cs.RestoreState(data)
+	}
+	return nil
+}
+
+func strategyByName(name string) (pragma.Strategy, error) {
+	switch name {
+	case "adaptive":
+		return pragma.Adaptive(), nil
+	case "system-sensitive":
+		return pragma.SystemSensitive(), nil
+	case "proactive":
+		return pragma.Proactive(), nil
+	default:
+		p, err := pragma.PartitionerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return pragma.Static(p), nil
+	}
+}
+
+func runReplay(cfg replayConfig) error {
+	var rmCfg pragma.RM3DConfig
+	switch cfg.trace {
+	case "small":
+		rmCfg = pragma.RM3DSmall()
+	case "paper":
+		rmCfg = pragma.RM3DPaper()
+	default:
+		return fmt.Errorf("unknown trace %q (small|paper)", cfg.trace)
+	}
+	trace, err := pragma.GenerateRM3D(rmCfg)
+	if err != nil {
+		return err
+	}
+	strat, err := strategyByName(cfg.strategy)
+	if err != nil {
+		return err
+	}
+	if cfg.crashAt > 0 {
+		strat = crashingStrategy{inner: strat, fp: &chaos.FaultPoint{FailAt: cfg.crashAt}}
+	}
+	rt := pragma.Runtime{
+		Trace:    trace,
+		Machine:  pragma.NewCluster(cfg.procs),
+		Strategy: strat,
+		NProcs:   cfg.procs,
+	}
+	var opts []pragma.RunOption
+	if cfg.ckptDir != "" {
+		opts = append(opts,
+			pragma.WithCheckpointDir(cfg.ckptDir),
+			pragma.WithCheckpointEvery(cfg.ckptEvery),
+			pragma.WithCheckpointKeep(cfg.ckptKeep))
+	}
+	if cfg.resume {
+		opts = append(opts, pragma.WithResume())
+	}
+	if cfg.resume {
+		fmt.Printf("replaying %s trace (%d snapshots) with %s on %d procs, resuming from %s\n",
+			cfg.trace, len(trace.Snapshots), strat.Name(), cfg.procs, cfg.ckptDir)
+	} else {
+		fmt.Printf("replaying %s trace (%d snapshots) with %s on %d procs\n",
+			cfg.trace, len(trace.Snapshots), strat.Name(), cfg.procs)
+	}
+	res, err := rt.Execute(opts...)
+	if errors.Is(err, chaos.ErrInjectedCrash) {
+		fmt.Printf("injected crash at regrid %d; checkpoints are in %s — rerun with -resume\n",
+			cfg.crashAt, cfg.ckptDir)
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated run-time %.1fs  compute %.1fs  comm %.1fs  partition %.2fs  migration %.2fs\n",
+		res.TotalTime, res.ComputeTime, res.CommTime, res.PartitionTime, res.MigrationTime)
+	fmt.Printf("max imbalance %.1f%%  avg %.1f%%  switches %d  steps %d\n",
+		res.MaxImbalance, res.AvgImbalance, res.Switches, res.Steps)
+
+	if cfg.emulate {
+		return emulateFinalSnapshot(trace, cfg.procs, cfg.stepDeadline)
+	}
+	return nil
+}
+
+// emulateFinalSnapshot runs the trace's last hierarchy as a real
+// message-passing program under worker supervision: every barrier wait is
+// bounded by the step deadline, so a stalled or crashed worker fails the
+// run with EngineLostWorkers instead of hanging it.
+func emulateFinalSnapshot(trace *pragma.Trace, procs int, deadline time.Duration) error {
+	h := trace.Snapshots[len(trace.Snapshots)-1].H
+	p, err := pragma.PartitionerByName("G-MISP+SP")
+	if err != nil {
+		return err
+	}
+	a, err := p.Partition(h, pragma.UniformWork(), procs)
+	if err != nil {
+		return err
+	}
+	center := pragma.NewMessageCenter()
+	ports := make([]pragma.MessagePort, procs)
+	for i := range ports {
+		ports[i] = center
+	}
+	var engOpts []pragma.EngineOption
+	if deadline > 0 {
+		engOpts = append(engOpts, pragma.WithStepDeadline(deadline))
+	}
+	eng, err := pragma.NewEngine(h, a, center, ports, engOpts...)
+	if err != nil {
+		return err
+	}
+	rep, err := eng.Run(4)
+	var lost *pragma.EngineLostWorkers
+	if errors.As(err, &lost) {
+		return fmt.Errorf("emulation lost workers %v at step %d (deadline %s)", lost.Missing, lost.Step, lost.Deadline)
+	}
+	if err != nil {
+		return err
+	}
+	var faces float64
+	for _, w := range rep.Workers {
+		faces += w.FacesSent
+	}
+	fmt.Printf("emulated %d steps on %d workers: %d ghost messages, %.0f faces exchanged\n",
+		rep.Steps, len(rep.Workers), rep.TotalMessages(), faces)
 	return nil
 }
 

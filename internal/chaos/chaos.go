@@ -23,6 +23,53 @@ import (
 // connection the injector decided to kill.
 var ErrInjectedDrop = errors.New("chaos: injected connection drop")
 
+// ErrInjectedCrash is the error a FaultPoint returns when it fires —
+// process-death emulation for components that are not network connections.
+var ErrInjectedCrash = errors.New("chaos: injected crash")
+
+// FaultPoint kills a run at a chosen execution point: the FailAt-th call
+// to Check returns ErrInjectedCrash, every other call is free. It extends
+// the package's deterministic fault injection beyond the wire — a replay
+// loop that calls Check once per regrid interval crashes reproducibly at
+// one interval, which is how the crash-recovery tests kill a run
+// mid-flight without killing the test process.
+type FaultPoint struct {
+	// FailAt is the 1-based call index that crashes; 0 or negative never
+	// fires.
+	FailAt int
+
+	mu    sync.Mutex
+	calls int
+	fired bool
+}
+
+// Check counts one execution of the guarded point and returns
+// ErrInjectedCrash exactly when the FailAt-th call is reached.
+func (f *FaultPoint) Check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.FailAt > 0 && f.calls == f.FailAt {
+		f.fired = true
+		return ErrInjectedCrash
+	}
+	return nil
+}
+
+// Fired reports whether the crash has been injected.
+func (f *FaultPoint) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Calls reports how many times Check has run.
+func (f *FaultPoint) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
 // Config parameterizes the injected faults. The zero value injects
 // nothing and wrapping with it is transparent.
 type Config struct {

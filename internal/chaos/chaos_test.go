@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"net"
 	"testing"
@@ -176,4 +177,32 @@ func TestWrapListenerSharesInjector(t *testing.T) {
 	}
 	cl.Close()
 	<-done
+}
+
+func TestFaultPointFiresExactlyOnce(t *testing.T) {
+	fp := &FaultPoint{FailAt: 3}
+	for i := 1; i <= 6; i++ {
+		err := fp.Check()
+		if i == 3 && !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("call %d: err = %v, want ErrInjectedCrash", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	if !fp.Fired() || fp.Calls() != 6 {
+		t.Fatalf("fired = %v, calls = %d, want true/6", fp.Fired(), fp.Calls())
+	}
+}
+
+func TestFaultPointDisarmed(t *testing.T) {
+	fp := &FaultPoint{}
+	for i := 0; i < 10; i++ {
+		if err := fp.Check(); err != nil {
+			t.Fatalf("disarmed fault point fired: %v", err)
+		}
+	}
+	if fp.Fired() {
+		t.Fatal("disarmed fault point reports fired")
+	}
 }

@@ -1,0 +1,245 @@
+// Package checkpoint persists run state so a crashed replay can resume
+// instead of losing the whole run — the recovery half of Pragma's "respond
+// to system failures" reactive management (§3.4.2). It provides a small,
+// format-versioned container (magic, version, length, CRC-32C over the
+// payload) and a directory Store that writes checkpoints atomically
+// (temp file + fsync + rename) and finds the latest valid one, skipping
+// truncated or corrupted files.
+//
+// The package is payload-agnostic: callers serialize their own state
+// (internal/core stores its replay accumulators as JSON) and this layer
+// guarantees that whatever is read back is exactly what was written, or an
+// error — never silently damaged state.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format constants. A checkpoint file is:
+//
+//	offset 0:  magic "PRGMCKPT" (8 bytes)
+//	offset 8:  version, uint32 little-endian
+//	offset 12: payload length, uint64 little-endian
+//	offset 20: CRC-32C (Castagnoli) of the payload, uint32 little-endian
+//	offset 24: payload
+//
+// Truncation is caught by the length field, payload damage by the CRC, and
+// future incompatible layouts by the version.
+const (
+	magic      = "PRGMCKPT"
+	headerSize = 24
+	// Version is the current container format version.
+	Version = 1
+)
+
+// Sentinel decode errors. All of them mean "this file is not a usable
+// checkpoint"; Store.Latest treats any of them as a skip.
+var (
+	// ErrNotCheckpoint marks data without the checkpoint magic.
+	ErrNotCheckpoint = errors.New("checkpoint: not a checkpoint file")
+	// ErrVersion marks a container version this code does not understand.
+	ErrVersion = errors.New("checkpoint: unsupported format version")
+	// ErrTruncated marks a file shorter than its header promises.
+	ErrTruncated = errors.New("checkpoint: truncated file")
+	// ErrCorrupt marks a payload whose CRC does not match.
+	ErrCorrupt = errors.New("checkpoint: payload CRC mismatch")
+	// ErrNoCheckpoint is returned by Latest when no valid checkpoint exists.
+	ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode wraps a payload in the checkpoint container.
+func Encode(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[8:], Version)
+	binary.LittleEndian.PutUint64(out[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[20:], crc32.Checksum(payload, castagnoli))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Decode validates a checkpoint container and returns its payload.
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize || string(data[:8]) != magic {
+		return nil, ErrNotCheckpoint
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, v)
+	}
+	length := binary.LittleEndian.Uint64(data[12:])
+	if length != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: header says %d payload bytes, file has %d",
+			ErrTruncated, length, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[20:]) {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// Store manages a directory of sequence-numbered checkpoint files.
+type Store struct {
+	// Dir is the checkpoint directory; Save creates it on demand.
+	Dir string
+	// Keep bounds how many checkpoint files Save retains (oldest pruned
+	// first). 0 means the default of 3; negative keeps everything.
+	Keep int
+}
+
+// Entry identifies one checkpoint file in a store.
+type Entry struct {
+	// Seq is the caller-chosen sequence number (a regrid index).
+	Seq int
+	// Path is the file's location.
+	Path string
+}
+
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".ckpt"
+)
+
+func (s *Store) path(seq int) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s%08d%s", filePrefix, seq, fileSuffix))
+}
+
+// Save atomically writes a checkpoint with the given sequence number: the
+// container goes to a temp file in the same directory, is synced, and
+// renamed into place, so a crash mid-write can never leave a half-written
+// file under the checkpoint name. Older files beyond Keep are pruned.
+func (s *Store) Save(seq int, payload []byte) (string, error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.Dir, ".ckpt-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(Encode(payload)); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	dst := s.path(seq)
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", fmt.Errorf("checkpoint: publish %s: %w", dst, err)
+	}
+	s.prune()
+	return dst, nil
+}
+
+// prune removes the oldest files beyond the retention bound. Pruning is
+// best-effort: a failure leaves extra files behind, never missing ones.
+func (s *Store) prune() {
+	keep := s.Keep
+	if keep == 0 {
+		keep = 3
+	}
+	if keep < 0 {
+		return
+	}
+	entries, err := s.Entries()
+	if err != nil {
+		return
+	}
+	for _, e := range entries[min(keep, len(entries)):] {
+		os.Remove(e.Path)
+	}
+}
+
+// Entries lists the store's checkpoint files, newest sequence first.
+// Non-checkpoint files in the directory are ignored; a missing directory
+// is an empty store.
+func (s *Store) Entries() ([]Entry, error) {
+	des, err := os.ReadDir(s.Dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []Entry
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix))
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Seq: seq, Path: filepath.Join(s.Dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out, nil
+}
+
+// Load reads and validates one checkpoint file, returning its payload.
+func (s *Store) Load(e Entry) ([]byte, error) {
+	data, err := os.ReadFile(e.Path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	payload, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, e.Path)
+	}
+	return payload, nil
+}
+
+// Latest returns the newest checkpoint that validates, walking older files
+// when newer ones are truncated or corrupted. accept, when non-nil, may
+// reject a structurally valid payload (e.g. one recorded for a different
+// run configuration), continuing the walk. Returns ErrNoCheckpoint when
+// nothing usable exists.
+func (s *Store) Latest(accept func(seq int, payload []byte) error) (int, []byte, error) {
+	entries, err := s.Entries()
+	if err != nil {
+		return 0, nil, err
+	}
+	var lastErr error
+	for _, e := range entries {
+		payload, err := s.Load(e)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if accept != nil {
+			if err := accept(e.Seq, payload); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		return e.Seq, payload, nil
+	}
+	if lastErr != nil {
+		return 0, nil, fmt.Errorf("%w (last failure: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return 0, nil, ErrNoCheckpoint
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

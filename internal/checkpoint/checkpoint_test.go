@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("pragma"), 1000)} {
+		got, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("decode(encode(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	valid := Encode([]byte(`{"state":42}`))
+
+	if _, err := Decode([]byte("not a checkpoint at all")); !errors.Is(err, ErrNotCheckpoint) {
+		t.Errorf("garbage: err = %v, want ErrNotCheckpoint", err)
+	}
+	if _, err := Decode(valid[:10]); !errors.Is(err, ErrNotCheckpoint) {
+		t.Errorf("short header: err = %v, want ErrNotCheckpoint", err)
+	}
+
+	truncated := valid[:len(valid)-3]
+	if _, err := Decode(truncated); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: err = %v, want ErrTruncated", err)
+	}
+
+	// Flip one payload byte: CRC must catch it.
+	corrupt := append([]byte(nil), valid...)
+	corrupt[headerSize+2] ^= 0x40
+	if _, err := Decode(corrupt); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt payload: err = %v, want ErrCorrupt", err)
+	}
+
+	// Unknown version.
+	future := append([]byte(nil), valid...)
+	future[8] = 99
+	if _, err := Decode(future); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestStoreSaveAndLatest(t *testing.T) {
+	st := &Store{Dir: filepath.Join(t.TempDir(), "ckpts")}
+	for seq, body := range map[int]string{2: "two", 5: "five", 9: "nine"} {
+		if _, err := st.Save(seq, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, payload, err := st.Latest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 || string(payload) != "nine" {
+		t.Fatalf("latest = (%d, %q), want (9, nine)", seq, payload)
+	}
+}
+
+func TestStoreLatestSkipsCorruptedAndTruncated(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	if _, err := st.Save(1, []byte("good-old")); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := st.Save(2, []byte("good-mid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := st.Save(3, []byte("good-new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the newest (bit flip) and truncate the middle one — the crash
+	// scenarios rename-on-publish cannot prevent after the fact.
+	data, err := os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(p3, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p2, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, payload, err := st.Latest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || string(payload) != "good-old" {
+		t.Fatalf("latest = (%d, %q), want the oldest intact file (1, good-old)", seq, payload)
+	}
+}
+
+func TestStoreLatestHonorsAccept(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	for seq := 1; seq <= 3; seq++ {
+		if _, err := st.Save(seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, _, err := st.Latest(func(seq int, payload []byte) error {
+		if seq == 3 {
+			return errors.New("wrong run configuration")
+		}
+		return nil
+	})
+	if err != nil || seq != 2 {
+		t.Fatalf("latest = (%d, %v), want seq 2 after rejecting 3", seq, err)
+	}
+}
+
+func TestStoreEmptyAndMissingDir(t *testing.T) {
+	st := &Store{Dir: filepath.Join(t.TempDir(), "never-created")}
+	if _, _, err := st.Latest(nil); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStorePruneKeepsNewest(t *testing.T) {
+	st := &Store{Dir: t.TempDir(), Keep: 2}
+	for seq := 1; seq <= 5; seq++ {
+		if _, err := st.Save(seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 5 || entries[1].Seq != 4 {
+		t.Fatalf("after pruning: %+v, want seqs [5 4]", entries)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	if err := os.WriteFile(filepath.Join(st.Dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st.Dir, "ckpt-notanumber.ckpt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(7, []byte("seven")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Seq != 7 {
+		t.Fatalf("entries = %+v, want just seq 7", entries)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	if _, err := st.Save(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(st.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if de.Name() != "ckpt-00000001.ckpt" {
+			t.Fatalf("unexpected leftover %q", de.Name())
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the container decoder: it
+// must never panic, and anything it accepts must re-encode to a container
+// that decodes to the same payload. This is the parser a resuming run
+// trusts with whatever a crash left on disk.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PRGMCKPT"))
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte(`{"nextIndex":3,"simTime":1.5}`)))
+	valid := Encode(bytes.Repeat([]byte{0xA5}, 64))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1]) // truncated
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize] ^= 1 // corrupted payload
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("accepted payload fails round trip: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("round trip changed payload: %x vs %x", again, payload)
+		}
+	})
+}

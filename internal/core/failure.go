@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"github.com/pragma-grid/pragma/internal/partition"
@@ -55,4 +56,42 @@ func (f *FailureAware) Assign(ctx *StepContext) (*partition.Assignment, string, 
 	return remapped, label + "+ft", nil
 }
 
+// failureAwareState is FailureAware's serialized resume state.
+type failureAwareState struct {
+	FailuresSeen int             `json:"failuresSeen"`
+	Inner        json.RawMessage `json:"inner,omitempty"`
+}
+
+// CheckpointState implements CheckpointableStrategy: the failure counter
+// and, when the wrapped strategy is itself checkpointable, its state.
+func (f *FailureAware) CheckpointState() ([]byte, error) {
+	st := failureAwareState{FailuresSeen: f.FailuresSeen}
+	if cs, ok := f.Inner.(CheckpointableStrategy); ok {
+		inner, err := cs.CheckpointState()
+		if err != nil {
+			return nil, err
+		}
+		st.Inner = inner
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState implements CheckpointableStrategy.
+func (f *FailureAware) RestoreState(data []byte) error {
+	var st failureAwareState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	f.FailuresSeen = st.FailuresSeen
+	if len(st.Inner) > 0 {
+		cs, ok := f.Inner.(CheckpointableStrategy)
+		if !ok {
+			return fmt.Errorf("core: checkpoint carries inner-strategy state but %q cannot restore it", f.Inner.Name())
+		}
+		return cs.RestoreState(st.Inner)
+	}
+	return nil
+}
+
 var _ Strategy = (*FailureAware)(nil)
+var _ CheckpointableStrategy = (*FailureAware)(nil)

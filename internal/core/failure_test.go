@@ -6,6 +6,7 @@ import (
 
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
 )
 
 func TestFailureAwareSurvivesNodeLoss(t *testing.T) {
@@ -95,5 +96,71 @@ func TestClusterAliveBookkeeping(t *testing.T) {
 	}
 	if got := c.EffectiveSpeed(2, 20); got != 0 {
 		t.Errorf("dead node speed = %g", got)
+	}
+}
+
+// TestFailureAwareSurvivorRemapOwners drives Assign directly at a time
+// when nodes are down and checks the remap invariants: every owner is a
+// live machine node, dead nodes carry zero work, and all work is conserved.
+func TestFailureAwareSurvivorRemapOwners(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(8, 1e5, 512, 100)
+	machine.Fail(1, 5)
+	machine.Fail(6, 5)
+	ft := &FailureAware{Inner: Static{P: partition.GMISPSP{}}}
+	snap := tr.Snapshots[0]
+	ctx := &StepContext{
+		Index: 0, Trace: tr, Snap: snap, WM: samr.UniformWorkModel{},
+		NProcs: 8, SimTime: 10, Machine: machine,
+	}
+	a, label, err := ft.Assign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "G-MISP+SP+ft" {
+		t.Errorf("label = %q, want G-MISP+SP+ft", label)
+	}
+	if a.NProcs != 8 {
+		t.Fatalf("remapped NProcs = %d, want the full machine width 8", a.NProcs)
+	}
+	alive := map[int]bool{}
+	for _, n := range machine.AliveNodes(10) {
+		alive[n] = true
+	}
+	for i, o := range a.Owner {
+		if !alive[o] {
+			t.Fatalf("unit %d assigned to dead node %d", i, o)
+		}
+	}
+	work := a.Work()
+	if work[1] != 0 || work[6] != 0 {
+		t.Errorf("dead nodes carry work: node1=%g node6=%g", work[1], work[6])
+	}
+	var total float64
+	for _, w := range work {
+		total += w
+	}
+	if diff := total - a.TotalWeight(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("work not conserved: %g vs %g", total, a.TotalWeight())
+	}
+	if ft.FailuresSeen != 1 {
+		t.Errorf("FailuresSeen = %d, want 1", ft.FailuresSeen)
+	}
+}
+
+// TestFailureAwareZeroAliveNodes exercises the error path where the whole
+// machine is gone by the time a regrid fires.
+func TestFailureAwareZeroAliveNodes(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(2, 1e5, 512, 100)
+	machine.Fail(0, 3)
+	machine.Fail(1, 3)
+	ft := &FailureAware{Inner: Static{P: partition.GMISPSP{}}}
+	ctx := &StepContext{
+		Index: 0, Trace: tr, Snap: tr.Snapshots[0], WM: samr.UniformWorkModel{},
+		NProcs: 2, SimTime: 99, Machine: machine,
+	}
+	if _, _, err := ft.Assign(ctx); err == nil {
+		t.Fatal("assign with zero live nodes succeeded")
 	}
 }

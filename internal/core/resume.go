@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/pragma-grid/pragma/internal/checkpoint"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// Checkpoint/restart for trace replays: at regrid boundaries Run persists
+// everything its loop carries between intervals — the accumulators of the
+// eventual RunResult, the outgoing assignment, and opt-in strategy state —
+// through the internal/checkpoint container (CRC-verified, atomically
+// renamed). A resumed run skips the completed intervals and continues from
+// the recorded simulation time, producing a final RunResult bit-identical
+// to an uninterrupted run: every accumulator is a float64 restored through
+// JSON, whose shortest-round-trip encoding is exact, and the previous
+// hierarchy is re-taken from the trace itself rather than serialized.
+
+// CheckpointableStrategy is implemented by strategies carrying in-memory
+// state that a resumed run must restore (capacity caches, failure
+// counters). Stateless strategies need nothing: re-running them over the
+// restored inputs reproduces their decisions.
+type CheckpointableStrategy interface {
+	// CheckpointState serializes the strategy's resume-relevant state.
+	CheckpointState() ([]byte, error)
+	// RestoreState re-installs state captured by CheckpointState.
+	RestoreState([]byte) error
+}
+
+// runCheckpoint is the payload Run persists at a regrid boundary.
+type runCheckpoint struct {
+	// Identity of the run; a checkpoint recorded under a different trace,
+	// strategy or machine shape must not be resumed into this one.
+	Trace     string `json:"trace"`
+	Snapshots int    `json:"snapshots"`
+	Strategy  string `json:"strategy"`
+	NProcs    int    `json:"nprocs"`
+
+	// NextIndex is the first regrid interval the resumed run executes;
+	// everything before it is complete and accounted in Result.
+	NextIndex int `json:"nextIndex"`
+
+	// Loop state between intervals.
+	SimTime   float64    `json:"simTime"`
+	PrevLabel string     `json:"prevLabel"`
+	ImbSum    float64    `json:"imbSum"`
+	EffSum    float64    `json:"effSum"`
+	Degraded  int        `json:"degraded"`
+	Result    *RunResult `json:"result"`
+
+	// PrevAssignment is the outgoing placement; the matching hierarchy is
+	// re-taken from the trace at NextIndex-1, not serialized.
+	PrevAssignment *assignmentState `json:"prevAssignment,omitempty"`
+
+	// StrategyState is the opaque CheckpointableStrategy payload.
+	StrategyState json.RawMessage `json:"strategyState,omitempty"`
+}
+
+// assignmentState serializes a partition.Assignment, reusing the samr Box
+// JSON encoding the trace serializer established.
+type assignmentState struct {
+	NProcs    int              `json:"nprocs"`
+	Units     []partition.Unit `json:"units"`
+	Owner     []int            `json:"owner"`
+	SplitCost float64          `json:"splitCost"`
+}
+
+func encodeAssignment(a *partition.Assignment) *assignmentState {
+	if a == nil {
+		return nil
+	}
+	return &assignmentState{NProcs: a.NProcs, Units: a.Units, Owner: a.Owner, SplitCost: a.SplitCost}
+}
+
+func (s *assignmentState) decode() *partition.Assignment {
+	if s == nil {
+		return nil
+	}
+	return &partition.Assignment{NProcs: s.NProcs, Units: s.Units, Owner: s.Owner, SplitCost: s.SplitCost}
+}
+
+// saveRunCheckpoint persists the loop state after interval idx completed.
+func saveRunCheckpoint(store *checkpoint.Store, tr *samr.Trace, strat Strategy, nprocs int, ck runCheckpoint) error {
+	ck.Trace = tr.Name
+	ck.Snapshots = len(tr.Snapshots)
+	ck.Strategy = strat.Name()
+	ck.NProcs = nprocs
+	if cs, ok := strat.(CheckpointableStrategy); ok {
+		state, err := cs.CheckpointState()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint strategy state: %w", err)
+		}
+		ck.StrategyState = state
+	}
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	if _, err := store.Save(ck.NextIndex, payload); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// loadRunCheckpoint finds the latest valid checkpoint matching this run's
+// identity. ok is false — with no error — when nothing usable exists, in
+// which case the run starts from the beginning.
+func loadRunCheckpoint(store *checkpoint.Store, tr *samr.Trace, strat Strategy, nprocs int) (runCheckpoint, bool, error) {
+	var ck runCheckpoint
+	_, _, err := store.Latest(func(seq int, payload []byte) error {
+		var cand runCheckpoint
+		if err := json.Unmarshal(payload, &cand); err != nil {
+			return fmt.Errorf("undecodable payload: %w", err)
+		}
+		if cand.Trace != tr.Name || cand.Snapshots != len(tr.Snapshots) {
+			return fmt.Errorf("checkpoint is for trace %q with %d snapshots, run has %q with %d",
+				cand.Trace, cand.Snapshots, tr.Name, len(tr.Snapshots))
+		}
+		if cand.Strategy != strat.Name() || cand.NProcs != nprocs {
+			return fmt.Errorf("checkpoint is for strategy %q on %d procs, run has %q on %d",
+				cand.Strategy, cand.NProcs, strat.Name(), nprocs)
+		}
+		if cand.NextIndex < 1 || cand.NextIndex > len(tr.Snapshots) || cand.Result == nil {
+			return fmt.Errorf("inconsistent checkpoint (nextIndex %d of %d)", cand.NextIndex, len(tr.Snapshots))
+		}
+		ck = cand
+		return nil
+	})
+	if errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		return runCheckpoint{}, false, nil
+	}
+	if err != nil {
+		return runCheckpoint{}, false, err
+	}
+	if len(ck.StrategyState) > 0 {
+		cs, ok := strat.(CheckpointableStrategy)
+		if !ok {
+			return runCheckpoint{}, false, fmt.Errorf(
+				"core: checkpoint carries state for strategy %q but the strategy cannot restore it", ck.Strategy)
+		}
+		if err := cs.RestoreState(ck.StrategyState); err != nil {
+			return runCheckpoint{}, false, fmt.Errorf("core: restore strategy state: %w", err)
+		}
+	}
+	return ck, true, nil
+}

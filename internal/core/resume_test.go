@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/chaos"
+	"github.com/pragma-grid/pragma/internal/checkpoint"
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/partition"
+)
+
+// crashingStrategy wraps a strategy with a chaos fault point: the run is
+// killed (strategy error) at a deterministic regrid interval, emulating a
+// process crash mid-replay without killing the test process.
+type crashingStrategy struct {
+	inner Strategy
+	fp    *chaos.FaultPoint
+}
+
+func (c crashingStrategy) Name() string { return c.inner.Name() }
+func (c crashingStrategy) Assign(ctx *StepContext) (*partition.Assignment, string, error) {
+	if err := c.fp.Check(); err != nil {
+		return nil, "", err
+	}
+	return c.inner.Assign(ctx)
+}
+
+// CheckpointState forwards to the wrapped strategy so the crash rehearsal
+// checkpoints exactly what the real strategy would.
+func (c crashingStrategy) CheckpointState() ([]byte, error) {
+	if cs, ok := c.inner.(CheckpointableStrategy); ok {
+		return cs.CheckpointState()
+	}
+	return nil, nil
+}
+
+func (c crashingStrategy) RestoreState(data []byte) error {
+	if cs, ok := c.inner.(CheckpointableStrategy); ok {
+		return cs.RestoreState(data)
+	}
+	return nil
+}
+
+// sameResult asserts two run results are identical, field by field —
+// resumed runs must be indistinguishable from uninterrupted ones.
+func sameResult(t *testing.T, got, want *RunResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		if got.TotalTime != want.TotalTime {
+			t.Errorf("TotalTime %v != %v", got.TotalTime, want.TotalTime)
+		}
+		if got.ComputeTime != want.ComputeTime || got.CommTime != want.CommTime {
+			t.Errorf("Compute/Comm (%v, %v) != (%v, %v)",
+				got.ComputeTime, got.CommTime, want.ComputeTime, want.CommTime)
+		}
+		if got.PartitionTime != want.PartitionTime || got.MigrationTime != want.MigrationTime {
+			t.Errorf("Partition/Migration (%v, %v) != (%v, %v)",
+				got.PartitionTime, got.MigrationTime, want.PartitionTime, want.MigrationTime)
+		}
+		if got.Steps != want.Steps || got.Switches != want.Switches {
+			t.Errorf("Steps/Switches (%d, %d) != (%d, %d)",
+				got.Steps, got.Switches, want.Steps, want.Switches)
+		}
+		if len(got.Snapshots) != len(want.Snapshots) {
+			t.Errorf("snapshot counts %d != %d", len(got.Snapshots), len(want.Snapshots))
+		}
+		t.Fatalf("resumed result differs from uninterrupted run")
+	}
+}
+
+func TestRunCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	tr := testTrace(t)
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(8, 1e5, 512, 100) }
+
+	base, err := Run(tr, Adaptive{ImbalanceGuard: 20}, RunConfig{Machine: mk(), NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	crashAt := len(tr.Snapshots) / 2
+	if crashAt < 2 {
+		t.Fatalf("trace too short for a mid-run crash: %d snapshots", len(tr.Snapshots))
+	}
+	_, err = Run(tr, crashingStrategy{
+		inner: Adaptive{ImbalanceGuard: 20},
+		fp:    &chaos.FaultPoint{FailAt: crashAt + 1},
+	}, RunConfig{Machine: mk(), NProcs: 8, CheckpointDir: dir})
+	if !errors.Is(err, chaos.ErrInjectedCrash) {
+		t.Fatalf("crash run: err = %v, want injected crash", err)
+	}
+
+	entries, err := (&checkpoint.Store{Dir: dir}).Entries()
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoints written before the crash (err=%v)", err)
+	}
+
+	resumed, err := Run(tr, Adaptive{ImbalanceGuard: 20}, RunConfig{
+		Machine: mk(), NProcs: 8, CheckpointDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, resumed, base)
+}
+
+func TestRunResumeSkipsCorruptedCheckpoint(t *testing.T) {
+	tr := testTrace(t)
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(4, 1e5, 512, 100) }
+
+	base, err := Run(tr, Static{P: partition.GMISPSP{}}, RunConfig{Machine: mk(), NProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	crashAt := len(tr.Snapshots) - 2
+	_, err = Run(tr, crashingStrategy{
+		inner: Static{P: partition.GMISPSP{}},
+		fp:    &chaos.FaultPoint{FailAt: crashAt + 1},
+	}, RunConfig{Machine: mk(), NProcs: 4, CheckpointDir: dir, CheckpointKeep: -1})
+	if !errors.Is(err, chaos.ErrInjectedCrash) {
+		t.Fatalf("crash run: err = %v", err)
+	}
+
+	// Corrupt the newest checkpoint (a crash mid-overwrite / disk damage):
+	// resume must fall back to the previous valid one and still reproduce
+	// the uninterrupted result.
+	st := &checkpoint.Store{Dir: dir, Keep: -1}
+	entries, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("need at least 2 checkpoints, have %d", len(entries))
+	}
+	data, err := os.ReadFile(entries[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x80
+	if err := os.WriteFile(entries[0].Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Run(tr, Static{P: partition.GMISPSP{}}, RunConfig{
+		Machine: mk(), NProcs: 4, CheckpointDir: dir, CheckpointKeep: -1, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, resumed, base)
+}
+
+func TestRunResumeWithEmptyDirStartsFresh(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(4, 1e5, 512, 100)
+	res, err := Run(tr, Static{P: partition.SFC{}}, RunConfig{
+		Machine: machine, NProcs: 4,
+		CheckpointDir: filepath.Join(t.TempDir(), "fresh"), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 || math.IsInf(res.TotalTime, 1) {
+		t.Fatalf("fresh resume produced no run: %+v", res)
+	}
+}
+
+func TestRunResumeRejectsMismatchedRun(t *testing.T) {
+	tr := testTrace(t)
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(4, 1e5, 512, 100) }
+	dir := t.TempDir()
+	_, err := Run(tr, crashingStrategy{
+		inner: Static{P: partition.GMISPSP{}},
+		fp:    &chaos.FaultPoint{FailAt: 3},
+	}, RunConfig{Machine: mk(), NProcs: 4, CheckpointDir: dir})
+	if !errors.Is(err, chaos.ErrInjectedCrash) {
+		t.Fatalf("crash run: err = %v", err)
+	}
+	// A different strategy must not adopt this checkpoint; with nothing
+	// else valid in the directory, the run restarts from scratch and
+	// completes — matching a from-scratch run of that strategy.
+	base, err := Run(tr, Static{P: partition.SFC{}}, RunConfig{Machine: mk(), NProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, Static{P: partition.SFC{}}, RunConfig{
+		Machine: mk(), NProcs: 4, CheckpointDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, base)
+}
+
+func TestRunCheckpointEveryKRegrids(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(4, 1e5, 512, 100)
+	dir := t.TempDir()
+	if _, err := Run(tr, Static{P: partition.GMISPSP{}}, RunConfig{
+		Machine: machine, NProcs: 4,
+		CheckpointDir: dir, CheckpointEvery: 3, CheckpointKeep: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := (&checkpoint.Store{Dir: dir, Keep: -1}).Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	for _, e := range entries {
+		if e.Seq%3 != 0 {
+			t.Errorf("checkpoint at regrid %d violates CheckpointEvery=3", e.Seq)
+		}
+	}
+}
+
+func TestSystemSensitiveStateSurvivesResume(t *testing.T) {
+	tr := testTrace(t)
+	// Background load makes capacities time-dependent: a resumed run that
+	// re-sampled at resume time instead of restoring the cache would pick
+	// different capacities and diverge.
+	mk := func() *cluster.Cluster { return cluster.LinuxCluster(8, 42) }
+
+	base, err := Run(tr, &SystemSensitive{}, RunConfig{Machine: mk(), NProcs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	_, err = Run(tr, crashingStrategy{
+		inner: &SystemSensitive{},
+		fp:    &chaos.FaultPoint{FailAt: len(tr.Snapshots)/2 + 1},
+	}, RunConfig{Machine: mk(), NProcs: 8, CheckpointDir: dir})
+	if !errors.Is(err, chaos.ErrInjectedCrash) {
+		t.Fatalf("crash run: err = %v", err)
+	}
+
+	resumed, err := Run(tr, &SystemSensitive{}, RunConfig{
+		Machine: mk(), NProcs: 8, CheckpointDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, resumed, base)
+}
+
+func TestFailureAwareStateRoundTrip(t *testing.T) {
+	f := &FailureAware{Inner: &SystemSensitive{caps: []float64{0.25, 0.75}}, FailuresSeen: 4}
+	state, err := f.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &FailureAware{Inner: &SystemSensitive{}}
+	if err := g.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if g.FailuresSeen != 4 {
+		t.Errorf("FailuresSeen = %d, want 4", g.FailuresSeen)
+	}
+	caps := g.Inner.(*SystemSensitive).Capacities()
+	if len(caps) != 2 || caps[0] != 0.25 || caps[1] != 0.75 {
+		t.Errorf("inner caps = %v, want [0.25 0.75]", caps)
+	}
+}

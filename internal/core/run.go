@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/pragma-grid/pragma/internal/checkpoint"
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/partition"
 	"github.com/pragma-grid/pragma/internal/samr"
@@ -26,6 +27,22 @@ type RunConfig struct {
 	// pBD-ISP stays cheap — the "partitioning time" component of the PAC
 	// metric.
 	PartitionSecondsPerUnit float64
+	// CheckpointDir, when set, persists run state at regrid boundaries so
+	// a crashed replay can resume (see resume.go for the format).
+	CheckpointDir string
+	// CheckpointEvery checkpoints after every k-th regrid interval
+	// (default 1 = every interval).
+	CheckpointEvery int
+	// CheckpointKeep bounds retained checkpoint files (0 = default of 3,
+	// negative = keep all).
+	CheckpointKeep int
+	// Resume restarts from the latest valid checkpoint in CheckpointDir,
+	// skipping the already-completed regrid intervals. Corrupted or
+	// truncated checkpoints are detected by CRC and skipped in favor of
+	// the previous valid one; with no usable checkpoint the run starts
+	// from the beginning. The final RunResult is identical to an
+	// uninterrupted run's.
+	Resume bool
 }
 
 // SnapshotStat records what happened at one regrid point.
@@ -116,8 +133,38 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 	var prevH *samr.Hierarchy
 	var prevLabel string
 	var imbSum, effSum float64
+	startIdx := 0
+	degradedBase := 0
 
-	for idx, snap := range tr.Snapshots {
+	var store *checkpoint.Store
+	ckptEvery := cfg.CheckpointEvery
+	if cfg.CheckpointDir != "" {
+		store = &checkpoint.Store{Dir: cfg.CheckpointDir, Keep: cfg.CheckpointKeep}
+		if ckptEvery < 1 {
+			ckptEvery = 1
+		}
+	}
+	if cfg.Resume && store != nil {
+		ck, ok, err := loadRunCheckpoint(store, tr, strat, nprocs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			startIdx = ck.NextIndex
+			simTime = ck.SimTime
+			prevLabel = ck.PrevLabel
+			imbSum, effSum = ck.ImbSum, ck.EffSum
+			degradedBase = ck.Degraded
+			res = ck.Result
+			prevA = ck.PrevAssignment.decode()
+			// The hierarchy the outgoing assignment partitioned is the
+			// trace's own snapshot — recomputed, never serialized.
+			prevH = tr.Snapshots[startIdx-1].H
+		}
+	}
+
+	for idx := startIdx; idx < len(tr.Snapshots); idx++ {
+		snap := tr.Snapshots[idx]
 		ctx := &StepContext{
 			Index:          idx,
 			Trace:          tr,
@@ -205,10 +252,30 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		}
 		effSum += snap.H.AMREfficiency()
 		prevA, prevH = a, snap.H
+
+		if store != nil && (idx+1)%ckptEvery == 0 && idx+1 < len(tr.Snapshots) {
+			degraded := degradedBase
+			if dg, ok := strat.(interface{ DegradedCount() int }); ok {
+				degraded += dg.DegradedCount()
+			}
+			if err := saveRunCheckpoint(store, tr, strat, nprocs, runCheckpoint{
+				NextIndex:      idx + 1,
+				SimTime:        simTime,
+				PrevLabel:      prevLabel,
+				ImbSum:         imbSum,
+				EffSum:         effSum,
+				Degraded:       degraded,
+				Result:         res,
+				PrevAssignment: encodeAssignment(prevA),
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.TotalTime = simTime
+	res.DegradedRegrids = degradedBase
 	if dg, ok := strat.(interface{ DegradedCount() int }); ok {
-		res.DegradedRegrids = dg.DegradedCount()
+		res.DegradedRegrids += dg.DegradedCount()
 	}
 	n := float64(len(tr.Snapshots))
 	res.AvgImbalance = imbSum / n

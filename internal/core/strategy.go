@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"github.com/pragma-grid/pragma/internal/cluster"
@@ -170,4 +171,17 @@ func (s *SystemSensitive) Capacities() []float64 {
 		return nil
 	}
 	return append([]float64(nil), s.caps...)
+}
+
+// CheckpointState implements CheckpointableStrategy: the capacity cache is
+// decision state ("computed only once before the start of the simulation"
+// in the paper's experiment), so a resumed run must reuse it rather than
+// re-sample the machine at resume time.
+func (s *SystemSensitive) CheckpointState() ([]byte, error) {
+	return json.Marshal(s.caps)
+}
+
+// RestoreState implements CheckpointableStrategy.
+func (s *SystemSensitive) RestoreState(data []byte) error {
+	return json.Unmarshal(data, &s.caps)
 }

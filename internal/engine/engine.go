@@ -8,12 +8,20 @@
 // counted and verified in a running system. Workers speak the agents.Port
 // interface, so the same engine runs in-process or across TCP clients
 // (multi-node emulation).
+//
+// Runs are supervised: a worker error aborts the whole run instead of
+// deadlocking the barrier, an optional step deadline turns a stalled or
+// killed worker into a LostWorkersError naming the missing processors, and
+// RunRecovering retries a failed interval on the survivors with the dead
+// processors' work remapped (RemapOntoSurvivors).
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/pragma-grid/pragma/internal/agents"
 	"github.com/pragma-grid/pragma/internal/partition"
@@ -41,6 +49,10 @@ type WorkerReport struct {
 	// Checksum digests the worker's computation and everything it
 	// received; it makes runs comparable for determinism checks.
 	Checksum uint64
+	// GhostsDropped counts rejected ghost messages: stale steps, absurdly
+	// early steps, and duplicate (step, pair) deliveries — replayed or
+	// corrupted traffic that must not grow memory or double-count digests.
+	GhostsDropped int
 }
 
 // Report summarizes a full engine run.
@@ -58,6 +70,149 @@ func (r Report) TotalMessages() int {
 	return n
 }
 
+// FaultMode selects the kind of worker fault WithWorkerFault injects — the
+// engine-level counterpart of package chaos's wire faults.
+type FaultMode int
+
+const (
+	// FaultError makes the worker return an error at the faulted step (a
+	// failed computation).
+	FaultError FaultMode = iota + 1
+	// FaultStall makes the worker stop processing messages at the faulted
+	// step without exiting (a hung process); only run abortion releases it.
+	FaultStall
+	// FaultCrash makes the worker exit silently before signaling the
+	// barrier (a killed process); detection is the supervisor's job.
+	FaultCrash
+)
+
+type workerFault struct {
+	step int
+	mode FaultMode
+}
+
+type options struct {
+	stepDeadline time.Duration
+	suffix       string
+	faults       map[int]workerFault
+}
+
+// Option configures an engine's supervision behavior.
+type Option func(*options)
+
+// WithStepDeadline bounds how long the coordinator waits for a step's
+// barriers and (at twice the value, as a backstop) how long a worker waits
+// for its ghosts and proceed token. When the deadline expires the run
+// fails with a LostWorkersError naming the processors that went silent
+// instead of hanging. 0 (the default) disables deadlines; worker errors
+// still abort the run.
+func WithStepDeadline(d time.Duration) Option {
+	return func(o *options) { o.stepDeadline = d }
+}
+
+// WithPortSuffix namespaces the engine's mailbox names so a recovery
+// engine can be wired on a Center whose previous engine already claimed
+// the default ports.
+func WithPortSuffix(s string) Option {
+	return func(o *options) { o.suffix = s }
+}
+
+// WithWorkerFault injects a deterministic fault into one worker at the
+// given step — reproducible crash rehearsal for the supervision machinery.
+func WithWorkerFault(proc, step int, mode FaultMode) Option {
+	return func(o *options) {
+		if o.faults == nil {
+			o.faults = map[int]workerFault{}
+		}
+		o.faults[proc] = workerFault{step: step, mode: mode}
+	}
+}
+
+// LostWorkersError reports processors that missed a step deadline: their
+// barrier signal or ghost messages never arrived, so they are presumed
+// stalled or dead. Callers can recover by remapping the assignment onto
+// the survivors (see RemapOntoSurvivors and RunRecovering).
+type LostWorkersError struct {
+	// Step is the BSP step at which the loss was detected.
+	Step int
+	// Missing lists the processors that went silent.
+	Missing []int
+	// Deadline is the configured step deadline that expired.
+	Deadline time.Duration
+}
+
+// Error implements error.
+func (e *LostWorkersError) Error() string {
+	return fmt.Sprintf("engine: step %d: workers %v missed the %v step deadline",
+		e.Step, e.Missing, e.Deadline)
+}
+
+// errAborted marks a worker cancelled by another's failure; it is internal
+// bookkeeping, never surfaced as the run error.
+var errAborted = errors.New("engine: run aborted")
+
+// errDeadline marks an expired receive deadline.
+var errDeadline = errors.New("engine: step deadline exceeded")
+
+// supervisor coordinates run abortion: the first failure wins and every
+// blocked worker and the coordinator are released through the abort
+// channel — the fix for the seed's deadlock, where a worker error left
+// the coordinator blocked on barriers and wg.Wait never returned.
+type supervisor struct {
+	abort chan struct{}
+	once  sync.Once
+	mu    sync.Mutex
+	err   error
+}
+
+func newSupervisor() *supervisor {
+	return &supervisor{abort: make(chan struct{})}
+}
+
+// fail records the failure and releases everyone. The first error is kept,
+// except that a LostWorkersError upgrades a bare deadline error — the
+// attribution is worth more than arrival order.
+func (s *supervisor) fail(err error) {
+	s.mu.Lock()
+	var lw *LostWorkersError
+	if s.err == nil {
+		s.err = err
+	} else if errors.As(err, &lw) && !errors.As(s.err, new(*LostWorkersError)) {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.abort) })
+}
+
+func (s *supervisor) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// recvWait receives one message, giving up on abort or after the deadline
+// (0 = wait forever, but still abortable).
+func recvWait(ch <-chan agents.Message, abort <-chan struct{}, d time.Duration) (agents.Message, bool, error) {
+	if d <= 0 {
+		select {
+		case m, ok := <-ch:
+			return m, ok, nil
+		case <-abort:
+			return agents.Message{}, false, errAborted
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m, ok := <-ch:
+		return m, ok, nil
+	case <-abort:
+		return agents.Message{}, false, errAborted
+	case <-t.C:
+		return agents.Message{}, false, errDeadline
+	}
+}
+
 // worker is one emulated processor.
 type worker struct {
 	proc  int
@@ -65,16 +220,19 @@ type worker struct {
 	inbox <-chan agents.Message
 	units []int // indices into the assignment
 	// sends lists (pair index, destination proc, faces) for messages this
-	// worker originates each step.
+	// worker originates each step; ghost exchange is symmetric, so the
+	// same pairs arrive back from the peers.
 	sends []send
 	// expect is the number of ghost messages arriving per step.
 	expect int
+	fault  workerFault
 	report WorkerReport
 }
 
 type send struct {
 	pair  int
 	to    string
+	peer  int
 	faces float64
 }
 
@@ -85,42 +243,51 @@ type Engine struct {
 	workers  []*worker
 	coord    <-chan agents.Message
 	coordown agents.Port
+	opts     options
 }
 
-// portName returns worker p's mailbox name.
-func portName(p int) string { return fmt.Sprintf("engine-worker-%d", p) }
+// portName returns worker p's mailbox name under this engine's namespace.
+func (e *Engine) portName(p int) string {
+	return fmt.Sprintf("engine-worker-%d%s", p, e.opts.suffix)
+}
 
-// coordPort is the coordinator's mailbox.
-const coordPort = "engine-coordinator"
+// coordName returns the coordinator's mailbox name.
+func (e *Engine) coordName() string { return "engine-coordinator" + e.opts.suffix }
 
 // New wires an engine over the given ports: ports[p] is the Port worker p
 // registers its mailbox on (pass the same Center for an in-process run, or
 // distinct TCP clients for a multi-node emulation). coordOn hosts the
-// coordinator mailbox.
-func New(h *samr.Hierarchy, a *partition.Assignment, coordOn agents.Port, ports []agents.Port) (*Engine, error) {
+// coordinator mailbox. Options add supervision: WithStepDeadline bounds
+// every wait, WithPortSuffix namespaces the mailboxes (recovery engines),
+// WithWorkerFault injects deterministic faults for crash rehearsal.
+func New(h *samr.Hierarchy, a *partition.Assignment, coordOn agents.Port, ports []agents.Port, opts ...Option) (*Engine, error) {
 	if len(ports) != a.NProcs {
 		return nil, fmt.Errorf("engine: %d ports for %d processors", len(ports), a.NProcs)
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	coordIn, err := coordOn.Register(coordPort, a.NProcs*4)
+	e := &Engine{h: h, a: a, coordown: coordOn}
+	for _, o := range opts {
+		o(&e.opts)
+	}
+	coordIn, err := coordOn.Register(e.coordName(), a.NProcs*4)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{h: h, a: a, coord: coordIn, coordown: coordOn}
+	e.coord = coordIn
 	pairs := partition.Adjacency(h, a)
 	expect := make([]int, a.NProcs)
 	sends := make([][]send, a.NProcs)
 	for i, pr := range pairs {
 		o1, o2 := a.Owner[pr.U1], a.Owner[pr.U2]
-		sends[o1] = append(sends[o1], send{pair: i, to: portName(o2), faces: pr.Faces})
-		sends[o2] = append(sends[o2], send{pair: i, to: portName(o1), faces: pr.Faces})
+		sends[o1] = append(sends[o1], send{pair: i, to: e.portName(o2), peer: o2, faces: pr.Faces})
+		sends[o2] = append(sends[o2], send{pair: i, to: e.portName(o1), peer: o1, faces: pr.Faces})
 		expect[o1]++
 		expect[o2]++
 	}
 	for p := 0; p < a.NProcs; p++ {
-		inbox, err := ports[p].Register(portName(p), 4*(expect[p]+4))
+		inbox, err := ports[p].Register(e.portName(p), 4*(expect[p]+4))
 		if err != nil {
 			return nil, fmt.Errorf("engine: worker %d: %w", p, err)
 		}
@@ -130,6 +297,7 @@ func New(h *samr.Hierarchy, a *partition.Assignment, coordOn agents.Port, ports 
 			inbox:  inbox,
 			sends:  sends[p],
 			expect: expect[p],
+			fault:  e.opts.faults[p],
 		}
 		for i, o := range a.Owner {
 			if o == p {
@@ -144,56 +312,32 @@ func New(h *samr.Hierarchy, a *partition.Assignment, coordOn agents.Port, ports 
 // Run executes the given number of BSP steps and returns the aggregated
 // report. Each step: every worker computes over its units, exchanges ghost
 // messages with its neighbors, and reports to the coordinator, which
-// releases the next step once all workers arrive.
+// releases the next step once all workers arrive. A worker failure aborts
+// the run; with a step deadline configured, a stalled or killed worker
+// surfaces as a LostWorkersError within a bounded wait — never a hang.
 func (e *Engine) Run(steps int) (Report, error) {
 	if steps < 1 {
 		return Report{}, fmt.Errorf("engine: steps %d < 1", steps)
 	}
+	sup := newSupervisor()
 	var wg sync.WaitGroup
-	errs := make(chan error, len(e.workers))
 	for _, w := range e.workers {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			if err := w.run(e, steps); err != nil {
-				errs <- fmt.Errorf("engine: worker %d: %w", w.proc, err)
+			if err := w.run(e, steps, sup); err != nil && !errors.Is(err, errAborted) {
+				sup.fail(fmt.Errorf("engine: worker %d: %w", w.proc, err))
 			}
 		}(w)
 	}
-
-	// Coordinator: barrier at every step.
-	coordErr := make(chan error, 1)
+	coordDone := make(chan struct{})
 	go func() {
-		for s := 0; s < steps; s++ {
-			arrived := 0
-			for arrived < len(e.workers) {
-				m, ok := <-e.coord
-				if !ok {
-					coordErr <- fmt.Errorf("engine: coordinator mailbox closed")
-					return
-				}
-				if m.Kind == "barrier" {
-					arrived++
-				}
-			}
-			for p := range e.workers {
-				if err := e.coordown.Send(agents.Message{
-					From: coordPort, To: portName(p), Kind: "proceed",
-				}); err != nil {
-					coordErr <- err
-					return
-				}
-			}
-		}
-		coordErr <- nil
+		defer close(coordDone)
+		e.coordinate(steps, sup)
 	}()
-
 	wg.Wait()
-	if err := <-coordErr; err != nil {
-		return Report{}, err
-	}
-	close(errs)
-	for err := range errs {
+	<-coordDone
+	if err := sup.failure(); err != nil {
 		return Report{}, err
 	}
 	rep := Report{Steps: steps}
@@ -203,14 +347,80 @@ func (e *Engine) Run(steps int) (Report, error) {
 	return rep, nil
 }
 
+// coordinate runs the per-step barrier. With a deadline configured, a step
+// whose barriers do not complete in time fails the run with the list of
+// missing processors — lost-worker detection.
+func (e *Engine) coordinate(steps int, sup *supervisor) {
+	for s := 0; s < steps; s++ {
+		arrived := make(map[string]bool, len(e.workers))
+		for len(arrived) < len(e.workers) {
+			m, ok, err := recvWait(e.coord, sup.abort, e.opts.stepDeadline)
+			switch {
+			case errors.Is(err, errAborted):
+				return
+			case errors.Is(err, errDeadline):
+				sup.fail(&LostWorkersError{
+					Step:     s,
+					Missing:  e.missingProcs(arrived),
+					Deadline: e.opts.stepDeadline,
+				})
+				return
+			case !ok:
+				sup.fail(fmt.Errorf("engine: coordinator mailbox closed at step %d", s))
+				return
+			}
+			if m.Kind == "barrier" {
+				arrived[m.From] = true
+			}
+		}
+		for p := range e.workers {
+			if err := e.coordown.Send(agents.Message{
+				From: e.coordName(), To: e.portName(p), Kind: "proceed",
+			}); err != nil {
+				sup.fail(fmt.Errorf("engine: coordinator: %w", err))
+				return
+			}
+		}
+	}
+}
+
+// missingProcs lists workers whose barrier has not arrived.
+func (e *Engine) missingProcs(arrived map[string]bool) []int {
+	var missing []int
+	for p := range e.workers {
+		if !arrived[e.portName(p)] {
+			missing = append(missing, p)
+		}
+	}
+	return missing
+}
+
 // run is one worker's step loop.
-func (w *worker) run(e *Engine, steps int) error {
+func (w *worker) run(e *Engine, steps int, sup *supervisor) error {
 	w.report = WorkerReport{Proc: w.proc, Units: len(w.units)}
 	// pending stashes ghosts that arrived ahead of their step (a fast
-	// neighbor may run one step ahead of the barrier release).
+	// neighbor may run one step ahead of the barrier release); seen dedups
+	// (step, pair) so replayed messages cannot double-count. Both maps are
+	// bounded: only steps s and s+1 are ever admitted.
 	pending := map[int][]ghostPayload{}
+	seen := map[int]map[int]bool{}
+	// Workers wait at twice the coordinator's deadline so the coordinator
+	// — which always misses a lost worker's barrier — diagnoses first and
+	// names the missing processors.
+	deadline := 2 * e.opts.stepDeadline
 	proceeds := 0
 	for s := 0; s < steps; s++ {
+		if w.fault.mode != 0 && w.fault.step == s {
+			switch w.fault.mode {
+			case FaultError:
+				return fmt.Errorf("injected fault at step %d", s)
+			case FaultCrash:
+				return errAborted // silent exit: the supervisor must notice
+			case FaultStall:
+				<-sup.abort // hung process: holds until the run aborts
+				return errAborted
+			}
+		}
 		// Compute: digest this worker's assigned work (a stand-in for the
 		// numerical kernel; cheap but real data flow).
 		for _, ui := range w.units {
@@ -222,7 +432,7 @@ func (w *worker) run(e *Engine, steps int) error {
 		// expected number of arrivals for this step.
 		for _, snd := range w.sends {
 			err := w.port.Send(agents.Message{
-				From: portName(w.proc),
+				From: e.portName(w.proc),
 				To:   snd.to,
 				Kind: "ghost",
 				Payload: agents.Encode(ghostPayload{
@@ -238,12 +448,22 @@ func (w *worker) run(e *Engine, steps int) error {
 		// Signal the barrier after sends; then drain this step's ghosts and
 		// one proceed token, stashing early arrivals from the next step.
 		if err := w.port.Send(agents.Message{
-			From: portName(w.proc), To: coordPort, Kind: "barrier",
+			From: e.portName(w.proc), To: e.coordName(), Kind: "barrier",
 		}); err != nil {
 			return err
 		}
 		for len(pending[s]) < w.expect || proceeds <= s {
-			m, ok := <-w.inbox
+			m, ok, err := recvWait(w.inbox, sup.abort, deadline)
+			if errors.Is(err, errAborted) {
+				return errAborted
+			}
+			if errors.Is(err, errDeadline) {
+				if missing := w.missingPeers(s, seen[s]); len(missing) > 0 {
+					return &LostWorkersError{Step: s, Missing: missing, Deadline: deadline}
+				}
+				return fmt.Errorf("step %d: no proceed from coordinator within %v (%w)",
+					s, deadline, errDeadline)
+			}
 			if !ok {
 				return fmt.Errorf("mailbox closed at step %d", s)
 			}
@@ -253,6 +473,17 @@ func (w *worker) run(e *Engine, steps int) error {
 				if err := agents.Decode(m, &g); err != nil {
 					return err
 				}
+				// A BSP neighbor runs at most one step ahead of the barrier,
+				// so anything outside [s, s+1] — or a (step, pair) already
+				// recorded — is replayed or corrupted traffic: drop it.
+				if g.Step < s || g.Step > s+1 || seen[g.Step][g.Pair] {
+					w.report.GhostsDropped++
+					continue
+				}
+				if seen[g.Step] == nil {
+					seen[g.Step] = map[int]bool{}
+				}
+				seen[g.Step][g.Pair] = true
 				pending[g.Step] = append(pending[g.Step], g)
 			case "proceed":
 				proceeds++
@@ -262,6 +493,7 @@ func (w *worker) run(e *Engine, steps int) error {
 		// depend on arrival order.
 		arrived := pending[s]
 		delete(pending, s)
+		delete(seen, s)
 		sort.Slice(arrived, func(i, j int) bool { return arrived[i].Pair < arrived[j].Pair })
 		for _, g := range arrived {
 			w.report.MessagesRecv++
@@ -269,6 +501,106 @@ func (w *worker) run(e *Engine, steps int) error {
 		}
 	}
 	return nil
+}
+
+// missingPeers names the processors whose step-s ghosts never arrived.
+func (w *worker) missingPeers(s int, got map[int]bool) []int {
+	peerMissing := map[int]bool{}
+	for _, snd := range w.sends {
+		if !got[snd.pair] {
+			peerMissing[snd.peer] = true
+		}
+	}
+	missing := make([]int, 0, len(peerMissing))
+	for p := range peerMissing {
+		missing = append(missing, p)
+	}
+	sort.Ints(missing)
+	return missing
+}
+
+// RemapOntoSurvivors reassigns the units owned by dead processors onto the
+// survivors, least-loaded first — the engine-level analogue of
+// core.FailureAware's survivor remap. The result is renumbered over the
+// survivors (NProcs = len(survivors)); the returned slice maps new
+// processor ids back to the original ones, which is also the port subset a
+// recovery engine should be wired on.
+func RemapOntoSurvivors(a *partition.Assignment, dead []int) (*partition.Assignment, []int, error) {
+	isDead := map[int]bool{}
+	for _, d := range dead {
+		if d < 0 || d >= a.NProcs {
+			return nil, nil, fmt.Errorf("engine: dead processor %d outside assignment of %d", d, a.NProcs)
+		}
+		isDead[d] = true
+	}
+	var survivors []int
+	newID := make([]int, a.NProcs)
+	for p := 0; p < a.NProcs; p++ {
+		if isDead[p] {
+			newID[p] = -1
+			continue
+		}
+		newID[p] = len(survivors)
+		survivors = append(survivors, p)
+	}
+	if len(survivors) == 0 {
+		return nil, nil, fmt.Errorf("engine: no surviving processors")
+	}
+	out := &partition.Assignment{
+		NProcs:    len(survivors),
+		Units:     a.Units,
+		Owner:     make([]int, len(a.Owner)),
+		SplitCost: a.SplitCost,
+	}
+	load := make([]float64, len(survivors))
+	for i, o := range a.Owner {
+		if id := newID[o]; id >= 0 {
+			out.Owner[i] = id
+			load[id] += a.Units[i].Weight
+		} else {
+			out.Owner[i] = -1 // orphaned; placed below
+		}
+	}
+	for i, o := range out.Owner {
+		if o >= 0 {
+			continue
+		}
+		least := 0
+		for p := 1; p < len(load); p++ {
+			if load[p] < load[least] {
+				least = p
+			}
+		}
+		out.Owner[i] = least
+		load[least] += a.Units[i].Weight
+	}
+	return out, survivors, nil
+}
+
+// RunRecovering executes an interval with bounded retry: build(attempt,
+// lost) constructs an engine — attempt 0 with lost == nil, each later
+// attempt with the processors the *previous* attempt's engine reported
+// missing, in that engine's own numbering (the builder created that
+// numbering, typically via RemapOntoSurvivors, so it can translate;
+// WithPortSuffix gives the retry fresh mailboxes). A run failing with a
+// LostWorkersError restarts the whole interval from the regrid boundary —
+// the recovery granularity checkpointed replays use. It returns the
+// successful report and the number of retries consumed.
+func RunRecovering(steps, maxRetries int, build func(attempt int, lost []int) (*Engine, error)) (Report, int, error) {
+	var lost []int
+	for attempt := 0; ; attempt++ {
+		e, err := build(attempt, append([]int(nil), lost...))
+		if err != nil {
+			return Report{}, attempt, err
+		}
+		rep, err := e.Run(steps)
+		var lw *LostWorkersError
+		if errors.As(err, &lw) && attempt < maxRetries {
+			lost = lw.Missing
+			continue
+		}
+		return rep, attempt, err
+	}
 }
 
 // mix is a simple 64-bit hash combiner.

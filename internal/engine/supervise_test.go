@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/agents"
+)
+
+// runGuarded runs e.Run with a watchdog: the pre-fix engine deadlocked on
+// worker failure, and a regression must fail the test, not hang the suite.
+func runGuarded(t *testing.T, e *Engine, steps int, guard time.Duration) (Report, error) {
+	t.Helper()
+	type result struct {
+		rep Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := e.Run(steps)
+		done <- result{rep, err}
+	}()
+	select {
+	case r := <-done:
+		return r.rep, r.err
+	case <-time.After(guard):
+		t.Fatalf("engine.Run still blocked after %v (deadlock regression)", guard)
+		return Report{}, nil
+	}
+}
+
+// TestEngineWorkerErrorDoesNotDeadlock is the regression test for the
+// seed's supervision hole: a worker returning an error left the
+// coordinator blocked on barriers and wg.Wait never returned. No step
+// deadline is configured — abortion alone must unblock everything.
+func TestEngineWorkerErrorDoesNotDeadlock(t *testing.T) {
+	h, a := testSetup(t, 4)
+	center := agents.NewCenter()
+	e, err := New(h, a, center, samePorts(center, 4),
+		WithWorkerFault(1, 1, FaultError))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runGuarded(t, e, 5, 30*time.Second)
+	if err == nil {
+		t.Fatal("failed worker produced no error")
+	}
+	if !strings.Contains(err.Error(), "worker 1") || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("error does not describe the failure: %v", err)
+	}
+}
+
+func TestEngineStalledWorkerHitsDeadline(t *testing.T) {
+	h, a := testSetup(t, 4)
+	center := agents.NewCenter()
+	const deadline = 200 * time.Millisecond
+	e, err := New(h, a, center, samePorts(center, 4),
+		WithStepDeadline(deadline),
+		WithWorkerFault(2, 1, FaultStall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = runGuarded(t, e, 6, 30*time.Second)
+	elapsed := time.Since(start)
+	var lw *LostWorkersError
+	if !errors.As(err, &lw) {
+		t.Fatalf("stalled worker: err = %v, want LostWorkersError", err)
+	}
+	if len(lw.Missing) != 1 || lw.Missing[0] != 2 {
+		t.Fatalf("missing = %v, want [2]", lw.Missing)
+	}
+	if lw.Step != 1 {
+		t.Fatalf("loss detected at step %d, want 1", lw.Step)
+	}
+	// Termination must be deadline-bounded, not eventual: allow generous
+	// scheduling slack but nothing near a hang.
+	if elapsed > 10*deadline+2*time.Second {
+		t.Fatalf("stalled run took %v to fail (deadline %v)", elapsed, deadline)
+	}
+}
+
+func TestEngineCrashedWorkerDetected(t *testing.T) {
+	h, a := testSetup(t, 4)
+	center := agents.NewCenter()
+	e, err := New(h, a, center, samePorts(center, 4),
+		WithStepDeadline(250*time.Millisecond),
+		WithWorkerFault(0, 2, FaultCrash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runGuarded(t, e, 6, 30*time.Second)
+	var lw *LostWorkersError
+	if !errors.As(err, &lw) {
+		t.Fatalf("crashed worker: err = %v, want LostWorkersError", err)
+	}
+	if len(lw.Missing) != 1 || lw.Missing[0] != 0 {
+		t.Fatalf("missing = %v, want [0]", lw.Missing)
+	}
+}
+
+// TestEngineGhostDedupAndStaleRejection forges replayed and corrupted
+// ghost traffic into a worker's mailbox before the run: exact duplicates
+// of step-0 payloads, a stale step, and a far-future step. The run must
+// drop all of it — identical checksums and counts to a clean run, with the
+// drops accounted.
+func TestEngineGhostDedupAndStaleRejection(t *testing.T) {
+	h, a := testSetup(t, 4)
+
+	clean := func() Report {
+		center := agents.NewCenter()
+		e, err := New(h, a, center, samePorts(center, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+
+	center := agents.NewCenter()
+	e, err := New(h, a, center, samePorts(center, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay attack: worker 0's incoming pairs are exactly its outgoing
+	// pair ids (ghost exchange is symmetric), and senders put
+	// Checksum=uint64(pair) on the wire, so a byte-faithful replay of every
+	// step-0 message is forgeable without running anything.
+	target := e.portName(0)
+	injected := 0
+	for _, snd := range e.workers[0].sends {
+		for copies := 0; copies < 2; copies++ { // two replays of each
+			if err := center.Send(agents.Message{
+				From: "replayer", To: target, Kind: "ghost",
+				Payload: agents.Encode(ghostPayload{
+					Step: 0, Pair: snd.pair, Faces: snd.faces, Checksum: uint64(snd.pair),
+				}),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			injected++
+		}
+	}
+	// Stale (negative step) and far-future traffic: bounded-memory check.
+	for _, g := range []ghostPayload{
+		{Step: -1, Pair: 0, Checksum: 99},
+		{Step: 100, Pair: 0, Checksum: 99},
+	} {
+		if err := center.Send(agents.Message{
+			From: "replayer", To: target, Kind: "ghost", Payload: agents.Encode(g),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		injected++
+	}
+
+	rep, err := e.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Workers {
+		if rep.Workers[i].Checksum != clean.Workers[i].Checksum {
+			t.Errorf("worker %d checksum diverged under replay: %x vs clean %x",
+				i, rep.Workers[i].Checksum, clean.Workers[i].Checksum)
+		}
+		if rep.Workers[i].MessagesRecv != clean.Workers[i].MessagesRecv {
+			t.Errorf("worker %d consumed %d ghosts, clean run %d",
+				i, rep.Workers[i].MessagesRecv, clean.Workers[i].MessagesRecv)
+		}
+	}
+	var dropped int
+	for _, w := range rep.Workers {
+		dropped += w.GhostsDropped
+	}
+	// The first replayed copy of each (step 0, pair) wins the dedup slot
+	// and the worker's own legitimate delivery is dropped as the duplicate;
+	// either way exactly `injected` extra messages must be discarded.
+	if dropped != injected {
+		t.Errorf("dropped %d ghosts, want %d", dropped, injected)
+	}
+}
+
+// TestEngineRecoveryOntoSurvivors kills a worker mid-interval and recovers
+// by remapping its units onto the survivors and re-running the interval
+// from the regrid boundary. The recovered run's checksums must equal an
+// uninterrupted run of the same survivor assignment — the engine-level
+// half of the crash-recovery acceptance criterion.
+func TestEngineRecoveryOntoSurvivors(t *testing.T) {
+	h, a := testSetup(t, 4)
+	const steps = 6
+	const dead = 2
+
+	remapped, survivors, err := RemapOntoSurvivors(a, []int{dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remapped.NProcs != 3 || len(survivors) != 3 {
+		t.Fatalf("remap: nprocs=%d survivors=%v", remapped.NProcs, survivors)
+	}
+	if err := remapped.Validate(); err != nil {
+		t.Fatalf("remapped assignment invalid: %v", err)
+	}
+	if w, want := remapped.TotalWeight(), a.TotalWeight(); w != want {
+		t.Fatalf("remap lost work: %g vs %g", w, want)
+	}
+
+	uninterrupted := func() Report {
+		center := agents.NewCenter()
+		e, err := New(h, remapped, center, samePorts(center, remapped.NProcs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+
+	rep, retries, err := RunRecovering(steps, 2, func(attempt int, lost []int) (*Engine, error) {
+		center := agents.NewCenter()
+		switch attempt {
+		case 0:
+			return New(h, a, center, samePorts(center, a.NProcs),
+				WithStepDeadline(250*time.Millisecond),
+				WithWorkerFault(dead, 2, FaultCrash))
+		default:
+			if len(lost) != 1 || lost[0] != dead {
+				return nil, fmt.Errorf("attempt %d: lost %v, want [%d]", attempt, lost, dead)
+			}
+			re, _, err := RemapOntoSurvivors(a, lost)
+			if err != nil {
+				return nil, err
+			}
+			return New(h, re, center, samePorts(center, re.NProcs),
+				WithStepDeadline(250*time.Millisecond),
+				WithPortSuffix(fmt.Sprintf("-retry%d", attempt)))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 1 {
+		t.Fatalf("recovered after %d retries, want 1", retries)
+	}
+	if len(rep.Workers) != len(uninterrupted.Workers) {
+		t.Fatalf("worker counts differ: %d vs %d", len(rep.Workers), len(uninterrupted.Workers))
+	}
+	for i := range rep.Workers {
+		if rep.Workers[i].Checksum != uninterrupted.Workers[i].Checksum {
+			t.Errorf("worker %d: recovered checksum %x != uninterrupted %x",
+				i, rep.Workers[i].Checksum, uninterrupted.Workers[i].Checksum)
+		}
+	}
+	if rep.TotalMessages() != uninterrupted.TotalMessages() {
+		t.Errorf("recovered run delivered %d messages, uninterrupted %d",
+			rep.TotalMessages(), uninterrupted.TotalMessages())
+	}
+}
+
+func TestRemapOntoSurvivorsRejectsBadInput(t *testing.T) {
+	_, a := testSetup(t, 3)
+	if _, _, err := RemapOntoSurvivors(a, []int{7}); err == nil {
+		t.Error("out-of-range dead processor accepted")
+	}
+	if _, _, err := RemapOntoSurvivors(a, []int{0, 1, 2}); err == nil {
+		t.Error("zero survivors accepted")
+	}
+}
+
+func TestEnginePortSuffixAllowsSecondEngine(t *testing.T) {
+	h, a := testSetup(t, 3)
+	center := agents.NewCenter()
+	if _, err := New(h, a, center, samePorts(center, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(h, a, center, samePorts(center, 3), WithPortSuffix("-b"))
+	if err != nil {
+		t.Fatalf("suffixed engine on the same center: %v", err)
+	}
+	if _, err := e2.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}

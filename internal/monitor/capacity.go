@@ -32,9 +32,16 @@ type ClusterSensor struct {
 
 // Sample implements Sensor: available CPU is what the background load
 // leaves over; memory and bandwidth come from the machine description.
+// A failed node reads as having no resources at all — the NWS sensor on a
+// dead machine reports nothing, and the capacity calculator must starve it
+// of work rather than inherit its last healthy reading.
 func (s ClusterSensor) Sample(t float64) []Reading {
 	out := make([]Reading, len(s.Cluster.Nodes))
 	for i, n := range s.Cluster.Nodes {
+		if !s.Cluster.Alive(i, t) {
+			out[i] = Reading{Time: t}
+			continue
+		}
 		cpu := 1.0
 		if s.Cluster.Load != nil {
 			cpu = 1 - s.Cluster.Load.Load(i, t)

@@ -1,0 +1,127 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+)
+
+// checkNormalized asserts the relative-capacity invariant of §4.6: the
+// capacities form a distribution — every entry finite and non-negative,
+// the whole summing to 1.
+func checkNormalized(t *testing.T, caps []float64) {
+	t.Helper()
+	var sum float64
+	for i, c := range caps {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("capacity[%d] = %v is not finite", i, c)
+		}
+		if c < 0 {
+			t.Fatalf("capacity[%d] = %v is negative", i, c)
+		}
+		sum += c
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("capacities sum to %v, want 1", sum)
+	}
+}
+
+// TestCapacitiesStayNormalizedUnderFailures is a seeded-random property
+// test: whatever mix of healthy, loaded, failed and zero-CPU nodes the
+// sensor reports, the capacity calculator either errors (every node gone)
+// or returns a valid distribution with dead nodes at exactly zero.
+func TestCapacitiesStayNormalizedUnderFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(16)
+		var machine *cluster.Cluster
+		if rng.Intn(2) == 0 {
+			machine = cluster.Homogeneous(n, 1e5, 512, 100)
+		} else {
+			machine = cluster.LinuxCluster(n, rng.Int63())
+		}
+		sampleAt := rng.Float64() * 100
+		failed := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				failed[i] = true
+				machine.Fail(i, sampleAt*rng.Float64())
+			}
+		}
+		readings := ClusterSensor{Cluster: machine}.Sample(sampleAt)
+		if len(readings) != n {
+			t.Fatalf("trial %d: %d readings for %d nodes", trial, len(readings), n)
+		}
+		// Occasionally zero out a survivor's CPU entirely — a node so
+		// loaded the sensor reads nothing available.
+		for i := range readings {
+			if !failed[i] && rng.Float64() < 0.1 {
+				readings[i].CPU = 0
+			}
+		}
+		caps, err := Capacities(readings, DefaultWeights())
+		if len(failed) == n {
+			if err == nil {
+				t.Fatalf("trial %d: all %d nodes failed but Capacities succeeded", trial, n)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkNormalized(t, caps)
+		for i := range caps {
+			if failed[i] && caps[i] != 0 {
+				t.Fatalf("trial %d: failed node %d has capacity %v, want 0", trial, i, caps[i])
+			}
+		}
+	}
+}
+
+// TestCapacitiesCPUOnlyWeights stresses the corner where the weighting
+// ignores memory and bandwidth: zero-CPU survivors then contribute nothing,
+// and the distribution must still normalize over the remaining nodes.
+func TestCapacitiesCPUOnlyWeights(t *testing.T) {
+	readings := []Reading{
+		{CPU: 0, MemoryMB: 512, BandwidthMBps: 100},
+		{CPU: 0.5, MemoryMB: 512, BandwidthMBps: 100},
+		{CPU: 1, MemoryMB: 512, BandwidthMBps: 100},
+	}
+	caps, err := Capacities(readings, Weights{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNormalized(t, caps)
+	if caps[0] != 0 {
+		t.Errorf("zero-CPU node has capacity %v under CPU-only weights", caps[0])
+	}
+	// All nodes starved of CPU is an error, not a NaN distribution.
+	for i := range readings {
+		readings[i].CPU = 0
+	}
+	if _, err := Capacities(readings, Weights{CPU: 1}); err == nil {
+		t.Error("all-zero CPU with CPU-only weights succeeded; want error")
+	}
+}
+
+// TestSensorReportsDeadNodesAsZero pins the sensor side of the contract:
+// a failed node's reading carries no resources.
+func TestSensorReportsDeadNodesAsZero(t *testing.T) {
+	machine := cluster.LinuxCluster(4, 11)
+	machine.Fail(2, 5)
+	readings := ClusterSensor{Cluster: machine}.Sample(10)
+	r := readings[2]
+	if r.CPU != 0 || r.MemoryMB != 0 || r.BandwidthMBps != 0 {
+		t.Fatalf("dead node reading = %+v, want all-zero resources", r)
+	}
+	for i, r := range readings {
+		if i == 2 {
+			continue
+		}
+		if r.CPU <= 0 || r.MemoryMB <= 0 || r.BandwidthMBps <= 0 {
+			t.Fatalf("live node %d reading = %+v, want positive resources", i, r)
+		}
+	}
+}

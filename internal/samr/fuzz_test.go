@@ -1,0 +1,45 @@
+package samr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes to the trace reader: it must never
+// panic, and any trace it accepts must survive a write/read round trip
+// unchanged in shape.
+func FuzzTraceDecode(f *testing.F) {
+	h, err := NewHierarchy(Box{Hi: Point{16, 8, 8}}, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr := &Trace{Name: "fuzz-seed", RegridEvery: 4}
+	tr.Snapshots = append(tr.Snapshots, Snapshot{Index: 0, CoarseStep: 0, Time: 0.5, H: h})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"format":"pragma-trace-v1","name":"x","regridEvery":1,"snapshots":0}`))
+	f.Add([]byte("{}\n{}\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, got); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if again.Name != got.Name || again.RegridEvery != got.RegridEvery ||
+			len(again.Snapshots) != len(got.Snapshots) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", again, got)
+		}
+	})
+}

@@ -156,6 +156,12 @@ type (
 	Engine = engine.Engine
 	// EngineReport summarizes an emulated distributed run.
 	EngineReport = engine.Report
+	// EngineOption configures an Engine (step deadlines, port namespacing,
+	// fault injection).
+	EngineOption = engine.Option
+	// EngineLostWorkers is the error an engine run fails with when workers
+	// miss a step deadline; Missing lists the lost processor ids.
+	EngineLostWorkers = engine.LostWorkersError
 
 	// PF is a performance function (§3.2).
 	PF = perf.PF
@@ -369,9 +375,36 @@ func NewTemplateRegistry() *TemplateRegistry { return agents.NewRegistry() }
 // NewEngine wires a distributed-execution emulation of the assignment:
 // one worker per processor on the given ports (the same MessageCenter for
 // an in-process run, or TCP clients for multi-node emulation), exchanging
-// real ghost messages each step.
-func NewEngine(h *Hierarchy, a *Assignment, coordOn MessagePort, ports []MessagePort) (*Engine, error) {
-	return engine.New(h, a, coordOn, ports)
+// real ghost messages each step. Pass WithStepDeadline to bound every
+// barrier wait so a crashed worker fails the run with EngineLostWorkers
+// instead of hanging it.
+func NewEngine(h *Hierarchy, a *Assignment, coordOn MessagePort, ports []MessagePort, opts ...EngineOption) (*Engine, error) {
+	return engine.New(h, a, coordOn, ports, opts...)
+}
+
+// Engine option constructors, re-exported from internal/engine.
+// WithStepDeadline bounds each worker/coordinator barrier wait;
+// WithEnginePortSuffix namespaces the engine's mailboxes so a recovery
+// engine can share the Message Center with a failed one.
+var (
+	WithStepDeadline     = engine.WithStepDeadline
+	WithEnginePortSuffix = engine.WithPortSuffix
+)
+
+// RemapOntoSurvivors renumbers an assignment's processors onto the workers
+// that survived a lost-worker failure, spreading orphaned grid units
+// least-loaded-first. The returned slice maps new processor ids to the
+// original ones.
+func RemapOntoSurvivors(a *Assignment, dead []int) (*Assignment, []int, error) {
+	return engine.RemapOntoSurvivors(a, dead)
+}
+
+// RunEngineRecovering drives build/Run cycles until an engine run
+// completes, retrying at most maxRetries times after lost-worker failures.
+// build receives the attempt number and the processor ids (in the previous
+// attempt's numbering) that were lost.
+func RunEngineRecovering(steps, maxRetries int, build func(attempt int, lost []int) (*Engine, error)) (EngineReport, int, error) {
+	return engine.RunRecovering(steps, maxRetries, build)
 }
 
 // PFExampleSystem returns the paper's PC1 -> switch -> PC2 pipeline used
@@ -402,16 +435,49 @@ type Runtime struct {
 	Cost CostModel
 }
 
+// RunOption configures one Execute call (checkpointing, resume).
+type RunOption func(*core.RunConfig)
+
+// WithCheckpointDir persists run state to dir at regrid boundaries.
+// Checkpoints are CRC-verified and written atomically; a later Execute
+// with WithResume continues from the newest valid one.
+func WithCheckpointDir(dir string) RunOption {
+	return func(c *core.RunConfig) { c.CheckpointDir = dir }
+}
+
+// WithCheckpointEvery checkpoints after every k-th regrid interval
+// instead of every interval.
+func WithCheckpointEvery(k int) RunOption {
+	return func(c *core.RunConfig) { c.CheckpointEvery = k }
+}
+
+// WithCheckpointKeep bounds retained checkpoint files (negative keeps all).
+func WithCheckpointKeep(n int) RunOption {
+	return func(c *core.RunConfig) { c.CheckpointKeep = n }
+}
+
+// WithResume restarts from the latest valid checkpoint in the checkpoint
+// directory; corrupted checkpoints are skipped, and with no usable one the
+// run starts from the beginning. The final result is identical to an
+// uninterrupted run's.
+func WithResume() RunOption {
+	return func(c *core.RunConfig) { c.Resume = true }
+}
+
 // Execute replays the trace and returns the execution profile.
-func (r Runtime) Execute() (*RunResult, error) {
+func (r Runtime) Execute(opts ...RunOption) (*RunResult, error) {
 	strat := r.Strategy
 	if strat == nil {
 		strat = Adaptive()
 	}
-	return core.Run(r.Trace, strat, core.RunConfig{
+	cfg := core.RunConfig{
 		Machine:   r.Machine,
 		Cost:      r.Cost,
 		NProcs:    r.NProcs,
 		WorkModel: r.WorkModel,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.Run(r.Trace, strat, cfg)
 }
