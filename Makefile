@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet bench experiments ablations extensions fmt cover clean
+.PHONY: build test test-short vet bench bench-telemetry experiments ablations extensions fmt cover clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ test: vet
 # One timed regeneration of every table, figure and ablation.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Hot-path metric benchmarks (counters and histograms must stay 0 allocs/op).
+bench-telemetry:
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/telemetry/
 
 # Print every table and figure of the paper.
 experiments:

@@ -11,31 +11,64 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
+	"strconv"
+	"time"
 
+	"github.com/pragma-grid/pragma"
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/monitor"
 )
 
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "gridmon:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 8, "cluster size")
-		seed     = flag.Int64("seed", 2002, "synthetic load seed")
-		samples  = flag.Int("samples", 60, "number of monitoring samples")
-		interval = flag.Float64("interval", 5, "seconds between samples")
+		nodes         = flag.Int("nodes", 8, "cluster size")
+		seed          = flag.Int64("seed", 2002, "synthetic load seed")
+		samples       = flag.Int("samples", 60, "number of monitoring samples")
+		interval      = flag.Float64("interval", 5, "seconds between samples")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics and /healthz on this address")
+		telemetryHold = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the report")
 	)
 	flag.Parse()
-	if *nodes < 1 || *samples < 2 {
-		fmt.Fprintln(os.Stderr, "gridmon: need at least 1 node and 2 samples")
-		os.Exit(2)
+	if *nodes < 1 {
+		usageError("need at least 1 node (-nodes)")
+	}
+	if *samples < 2 {
+		usageError("need at least 2 samples (-samples)")
+	}
+	if *interval <= 0 {
+		usageError(fmt.Sprintf("-interval must be positive, got %g", *interval))
+	}
+
+	var tsrv *pragma.TelemetryServer
+	if *telemetryAddr != "" {
+		var err error
+		tsrv, err = pragma.ServeTelemetry(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridmon:", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", tsrv.Addr())
 	}
 
 	machine := cluster.LinuxCluster(*nodes, *seed)
 	sensor := monitor.ClusterSensor{Cluster: machine}
 
+	// forecastErr accumulates each node's one-step-ahead absolute forecast
+	// error: before absorbing a new reading, compare it against what the
+	// meta-forecaster predicted from the history so far.
 	history := make([][]monitor.Reading, 0, *samples)
 	metas := make([]*monitor.Meta, *nodes)
+	forecastErr := make([]float64, *nodes)
 	for i := range metas {
 		metas[i] = monitor.NewMeta()
 	}
@@ -44,12 +77,16 @@ func main() {
 		readings := sensor.Sample(t)
 		history = append(history, readings)
 		for i, r := range readings {
+			if s > 0 {
+				forecastErr[i] += math.Abs(metas[i].Predict() - r.CPU)
+			}
 			metas[i].Update(r.CPU)
 		}
 	}
 
 	fmt.Printf("monitored %d nodes for %d samples (%.0fs apart)\n\n", *nodes, *samples, *interval)
-	fmt.Printf("%-6s %-10s %-10s %-12s %-20s\n", "Node", "CPU now", "Forecast", "Best model", "Forecaster MSEs")
+	fmt.Printf("%-6s %-10s %-10s %-12s %-10s %-10s %-20s\n",
+		"Node", "CPU now", "Forecast", "Best model", "MAE", "Accuracy", "Forecaster MSEs")
 	last := history[len(history)-1]
 	for i := 0; i < *nodes; i++ {
 		mses := metas[i].MSE()
@@ -59,24 +96,52 @@ func main() {
 		}
 		sort.Slice(names, func(a, b int) bool { return mses[names[a]] < mses[names[b]] })
 		top := fmt.Sprintf("%s=%.2e %s=%.2e", names[0], mses[names[0]], names[1], mses[names[1]])
-		fmt.Printf("%-6d %-10.3f %-10.3f %-12s %s\n",
-			i, last[i].CPU, metas[i].Predict(), metas[i].Best().Name(), top)
+		mae := forecastErr[i] / float64(*samples-1)
+		accuracy := 100 * (1 - mae)
+		if accuracy < 0 {
+			accuracy = 0
+		}
+		fmt.Printf("%-6d %-10.3f %-10.3f %-12s %-10.4f %-10s %s\n",
+			i, last[i].CPU, metas[i].Predict(), metas[i].Best().Name(), mae,
+			fmt.Sprintf("%.1f%%", accuracy), top)
 	}
 
-	reactive, err := monitor.Capacities(last, monitor.DefaultWeights())
-	if err != nil {
+	if _, err := monitor.Capacities(last, monitor.DefaultWeights()); err != nil {
 		fmt.Fprintln(os.Stderr, "gridmon:", err)
 		os.Exit(1)
 	}
-	proactive, err := monitor.PredictiveCapacities(history, monitor.DefaultWeights())
-	if err != nil {
+	if _, err := monitor.PredictiveCapacities(history, monitor.DefaultWeights()); err != nil {
 		fmt.Fprintln(os.Stderr, "gridmon:", err)
 		os.Exit(1)
 	}
+
+	// The capacity calculators publish per-node gauges; read the final
+	// table back from the telemetry registry rather than from the return
+	// values — the same numbers a scraper of /metrics would see.
+	snap := pragma.Telemetry().Snapshot()
+	reactive := gaugeByNode(snap, "pragma_monitor_relative_capacity")
+	proactive := gaugeByNode(snap, "pragma_monitor_predicted_capacity")
 	fmt.Printf("\n%-6s %-20s %-20s\n", "Node", "Reactive capacity", "Predictive capacity")
 	for i := 0; i < *nodes; i++ {
 		fmt.Printf("%-6d %-20.4f %-20.4f\n", i, reactive[i], proactive[i])
 	}
 	fmt.Println("\ncapacities are the weighted normalized CPU/memory/bandwidth sums of Fig. 4;")
 	fmt.Println("the system-sensitive partitioner distributes workload proportionally to them.")
+
+	if tsrv != nil && *telemetryHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %s\n", *telemetryHold)
+		time.Sleep(*telemetryHold)
+	}
+}
+
+// gaugeByNode extracts a per-node gauge family from a registry snapshot
+// into a node-index-keyed map.
+func gaugeByNode(snap pragma.TelemetrySnapshot, name string) map[int]float64 {
+	out := make(map[int]float64)
+	for _, s := range snap.Find(name) {
+		if node, err := strconv.Atoi(s.Labels["node"]); err == nil {
+			out[node] = s.Value
+		}
+	}
+	return out
 }

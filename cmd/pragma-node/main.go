@@ -52,6 +52,10 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "agent poll / ADM report interval")
 		runFor   = flag.Duration("run-for", 0, "exit after this duration (0 = until interrupted)")
 
+		// Observability.
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pragma on this address (all modes)")
+		telemetryHold = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after -replay finishes (for scraping)")
+
 		// Robustness knobs.
 		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "broker: evict clients silent this long (0 disables; with -serve)")
 		wTimeout  = flag.Duration("write-timeout", 5*time.Second, "broker: wire write deadline (0 disables; with -serve)")
@@ -89,6 +93,17 @@ func main() {
 		defer cancel()
 	}
 
+	var tsrv *pragma.TelemetryServer
+	if *telemetryAddr != "" {
+		var err error
+		tsrv, err = pragma.ServeTelemetry(*telemetryAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", tsrv.Addr())
+	}
+
 	switch {
 	case *replay:
 		if err := runReplay(replayConfig{
@@ -98,6 +113,13 @@ func main() {
 			emulate: *emulate, stepDeadline: *stepDeadline,
 		}); err != nil {
 			fail(err)
+		}
+		if tsrv != nil && *telemetryHold > 0 {
+			fmt.Printf("holding telemetry endpoint for %s (scrape http://%s/metrics)\n", *telemetryHold, tsrv.Addr())
+			select {
+			case <-ctx.Done():
+			case <-time.After(*telemetryHold):
+			}
 		}
 	case *serve != "":
 		if err := runBroker(ctx, *serve, *interval, *hbTimeout, *wTimeout); err != nil {
@@ -142,6 +164,7 @@ func runBroker(ctx context.Context, addr string, interval, hbTimeout, wTimeout t
 		return err
 	}
 	defer ln.Close()
+	pragma.RegisterQueueDepthGauge(center)
 	go center.Serve(ln)
 	fmt.Printf("message center listening on %s\n", ln.Addr())
 

@@ -163,6 +163,7 @@ func (c *Center) Send(m Message) error {
 	if m.To == "" {
 		return fmt.Errorf("agents: direct message without destination")
 	}
+	metricSends.Inc()
 	c.mu.RLock()
 	ch, okL := c.local[m.To]
 	rc, okR := c.remote[m.To]
@@ -173,6 +174,7 @@ func (c *Center) Send(m Message) error {
 		case ch <- m:
 			return nil
 		default:
+			metricMailboxFull.Inc()
 			return fmt.Errorf("agents: mailbox %q full", m.To)
 		}
 	case okR:
@@ -208,6 +210,7 @@ func (c *Center) Publish(m Message) error {
 	if m.Topic == "" {
 		return fmt.Errorf("agents: publish without topic")
 	}
+	metricPublishes.Inc()
 	c.mu.RLock()
 	targets := make([]string, 0, len(c.subs[m.Topic]))
 	for port := range c.subs[m.Topic] {
@@ -226,6 +229,19 @@ func (c *Center) Publish(m Message) error {
 		}
 	}
 	return firstErr
+}
+
+// QueueDepth returns the number of messages currently queued across the
+// center's local mailboxes — the control network's aggregate backlog.
+// Remote ports queue on their owning client, not here.
+func (c *Center) QueueDepth() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, ch := range c.local {
+		n += len(ch)
+	}
+	return n
 }
 
 // Ports returns the registered port names (local and remote), mainly for

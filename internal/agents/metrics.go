@@ -1,0 +1,50 @@
+package agents
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// Control-network instrumentation. Handles are resolved once; the message
+// hot paths (Send, Publish, deliver) pay one atomic increment each.
+var (
+	metricMessages = telemetry.Default.CounterVec(
+		"pragma_agents_messages_total",
+		"Message Center traffic by path: direct sends and topic publications.",
+		"path")
+	metricSends     = metricMessages.With("direct")
+	metricPublishes = metricMessages.With("publish")
+
+	metricMailboxFull = telemetry.Default.Counter(
+		"pragma_agents_mailbox_full_total",
+		"Deliveries refused or dropped because the destination mailbox was full.")
+	metricEvictions = telemetry.Default.Counter(
+		"pragma_agents_evictions_total",
+		"TCP clients evicted by the broker for silence past the heartbeat timeout.")
+	metricHeartbeatMisses = telemetry.Default.Counter(
+		"pragma_agents_heartbeat_misses_total",
+		"Liveness deadline expiries observed on the wire (broker reads and client reads).")
+	metricLinkLosses = telemetry.Default.Counter(
+		"pragma_agents_link_losses_total",
+		"Client connections lost (before any reconnect attempt).")
+	metricReconnects = telemetry.Default.Counter(
+		"pragma_agents_reconnects_total",
+		"Client resynchronizations completed after a link loss.")
+	metricHeartbeatsSent = telemetry.Default.Counter(
+		"pragma_agents_heartbeats_sent_total",
+		"Ping frames written by clients.")
+	metricReplayedFrames = telemetry.Default.Counter(
+		"pragma_agents_replayed_frames_total",
+		"Buffered frames re-sent after reconnects.")
+	metricBufferRejects = telemetry.Default.Counter(
+		"pragma_agents_buffer_rejects_total",
+		"Sends refused because the in-flight buffer was full during an outage.")
+)
+
+// RegisterQueueDepthGauge exposes the center's aggregate mailbox backlog
+// as the pragma_agents_queue_depth gauge, sampled at scrape time.
+// Intended for the long-lived broker Center of a process; re-registering
+// rebinds the gauge to the new center (last wins).
+func RegisterQueueDepthGauge(c *Center) {
+	telemetry.Default.GaugeFunc(
+		"pragma_agents_queue_depth",
+		"Messages queued in the Message Center's local mailboxes, sampled at scrape time.",
+		func() float64 { return float64(c.QueueDepth()) })
+}

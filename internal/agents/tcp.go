@@ -3,6 +3,7 @@ package agents
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -151,6 +152,11 @@ func (c *Center) handle(wc *wireConn) {
 		}
 		var f frame
 		if err := dec.Decode(&f); err != nil {
+			var ne net.Error
+			if c.heartbeatTimeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+				metricHeartbeatMisses.Inc()
+				metricEvictions.Inc()
+			}
 			c.reportErr(fmt.Errorf("agents: wire read: %w", err))
 			return
 		}
@@ -473,6 +479,10 @@ func (cl *Client) readLoop(gen int, conn net.Conn) {
 		}
 		var f frame
 		if err := dec.Decode(&f); err != nil {
+			var ne net.Error
+			if readTimeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+				metricHeartbeatMisses.Inc()
+			}
 			cl.connLost(gen, conn, err)
 			return
 		}
@@ -488,6 +498,7 @@ func (cl *Client) readLoop(gen int, conn net.Conn) {
 				default:
 					// Full mailbox: drop the copy, but account for it.
 					cl.mailboxDrops.Add(1)
+					metricMailboxFull.Inc()
 				}
 			}
 		case "register", "subscribe":
@@ -516,6 +527,7 @@ func (cl *Client) connLost(gen int, conn net.Conn, cause error) {
 		cl.mu.Unlock()
 		return
 	}
+	metricLinkLosses.Inc()
 	if !cl.cfg.reconnect {
 		cl.failLocked()
 		cl.mu.Unlock()
@@ -656,8 +668,10 @@ func (cl *Client) resync(conn net.Conn) bool {
 			return false
 		}
 		cl.replayed.Add(1)
+		metricReplayedFrames.Inc()
 	}
 	cl.reconnects.Add(1)
+	metricReconnects.Inc()
 	return true
 }
 
@@ -755,6 +769,7 @@ func (cl *Client) sendAsync(f frame) error {
 func (cl *Client) bufferLocked(f frame) error {
 	if len(cl.pending) >= cl.cfg.sendBuffer {
 		cl.bufferRejects.Add(1)
+		metricBufferRejects.Inc()
 		return fmt.Errorf("agents: send buffer full (%d frames) during outage", cl.cfg.sendBuffer)
 	}
 	cl.pending = append(cl.pending, f)
@@ -780,6 +795,7 @@ func (cl *Client) heartbeatLoop() {
 			continue
 		}
 		cl.heartbeatsSent.Add(1)
+		metricHeartbeatsSent.Inc()
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Format constants. A checkpoint file is:
@@ -120,6 +121,19 @@ func (s *Store) path(seq int) string {
 // renamed into place, so a crash mid-write can never leave a half-written
 // file under the checkpoint name. Older files beyond Keep are pruned.
 func (s *Store) Save(seq int, payload []byte) (string, error) {
+	start := time.Now()
+	dst, err := s.save(seq, payload)
+	if err != nil {
+		metricWritesFailed.Inc()
+		return "", err
+	}
+	metricWriteSeconds.Observe(time.Since(start).Seconds())
+	metricBytesWritten.Add(uint64(headerSize + len(payload)))
+	metricWritesOK.Inc()
+	return dst, nil
+}
+
+func (s *Store) save(seq int, payload []byte) (string, error) {
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}

@@ -1,0 +1,23 @@
+package checkpoint
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// Store-level instrumentation: write latency covers the full atomic path
+// (temp file, fsync, rename), so it reflects what a regrid boundary
+// actually pays for durability, not just the write syscall.
+var (
+	metricWriteSeconds = telemetry.Default.Histogram(
+		"pragma_checkpoint_write_seconds",
+		"Latency of atomically persisting one checkpoint (write+fsync+rename).",
+		telemetry.DefBuckets)
+	metricBytesWritten = telemetry.Default.Counter(
+		"pragma_checkpoint_bytes_written_total",
+		"Total checkpoint container bytes written, including headers.")
+	metricWrites = telemetry.Default.CounterVec(
+		"pragma_checkpoint_writes_total",
+		"Checkpoint save attempts by result.",
+		"result")
+
+	metricWritesOK     = metricWrites.With("ok")
+	metricWritesFailed = metricWrites.With("error")
+)

@@ -8,6 +8,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/octant"
 	"github.com/pragma-grid/pragma/internal/partition"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
 // AgentManaged is the automated adaptation loop of §4.7: instead of
@@ -41,8 +42,9 @@ type AgentManaged struct {
 	// Typically wired to pragma's Client.Degraded over the node clients.
 	Health func() bool
 
-	prevOctant octant.Octant
-	current    *partition.Assignment
+	prevOctant  octant.Octant
+	current     *partition.Assignment
+	wasDegraded bool
 	// Repartitions counts how many regrids actually repartitioned.
 	Repartitions int
 	// DegradedRegrids counts regrids decided in degraded (local-only)
@@ -124,6 +126,7 @@ func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string,
 		return nil, "", err
 	}
 	oct := octant.Classify(state, am.meta.Thresholds)
+	ctx.CycleTrace.Event("octant-classified", telemetry.String("octant", oct.String()))
 
 	// When the control network is partitioned, skip the agent/ADM round
 	// entirely — no polls can reach the broker — and decide from local
@@ -131,7 +134,12 @@ func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string,
 	degraded := am.Health != nil && !am.Health()
 	if degraded {
 		am.DegradedRegrids++
+		if !am.wasDegraded {
+			metricDegradedTransitions.Inc()
+		}
+		ctx.CycleTrace.Event("degraded-mode")
 	}
+	am.wasDegraded = degraded
 
 	// Publish per-node relative loads from the outgoing assignment, let
 	// the agents poll, and consolidate at the ADM.
@@ -166,6 +174,7 @@ func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string,
 		// each new unit on the processor owning its region before.
 		if reused, ok := reproject(am.current, ctx.Snap.H, ctx.WM); ok {
 			am.current = reused
+			ctx.CycleTrace.Event("reprojected")
 			return reused, "reprojected", nil
 		}
 		needRepartition = true
@@ -175,6 +184,7 @@ func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string,
 	if err != nil {
 		return nil, "", err
 	}
+	ctx.CycleTrace.Event("partitioner-selected", telemetry.String("partitioner", p.Name()))
 	a, err := p.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
 	if err != nil {
 		return nil, "", err

@@ -57,7 +57,11 @@ func (m *MetaPartitioner) SelectForOctant(o octant.Octant) (partition.Partitione
 	if !ok {
 		return nil, fmt.Errorf("core: no partitioner policy for octant %v", o)
 	}
-	return m.Lookup(act.Target)
+	p, err := m.Lookup(act.Target)
+	if err == nil {
+		metricPartitionerSelected.With(p.Name(), o.String()).Inc()
+	}
+	return p, err
 }
 
 // SelectAt characterizes the trace at snapshot idx and returns the selected

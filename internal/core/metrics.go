@@ -1,0 +1,54 @@
+package core
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// Runtime-management instrumentation. Regrids are infrequent relative to
+// BSP steps, so labeled-child resolution at regrid time is acceptable;
+// everything else is a pre-resolved handle.
+var (
+	metricRegridSeconds = telemetry.Default.Histogram(
+		"pragma_core_regrid_seconds",
+		"Wall-clock duration of one regrid cycle: partitioning decision, PAC evaluation, and interval bookkeeping.",
+		nil)
+	metricPartitionerSelected = telemetry.Default.CounterVec(
+		"pragma_core_partitioner_selected_total",
+		"Policy-base partitioner selections keyed by the octant that drove them.",
+		"partitioner", "octant")
+	metricSwitches = telemetry.Default.Counter(
+		"pragma_core_partitioner_switches_total",
+		"Partitioner changes between consecutive regrids.")
+	metricRegrids = telemetry.Default.Counter(
+		"pragma_core_regrids_total",
+		"Regrid cycles executed.")
+	metricSteps = telemetry.Default.Counter(
+		"pragma_core_steps_total",
+		"Coarse BSP steps simulated.")
+	metricRecoveries = telemetry.Default.Counter(
+		"pragma_core_recoveries_total",
+		"Mid-interval failure recoveries (work re-assigned off a dead node).")
+	metricDegradedTransitions = telemetry.Default.Counter(
+		"pragma_core_degraded_transitions_total",
+		"Entries into degraded mode (control network reported down after being up).")
+	metricResumes = telemetry.Default.Counter(
+		"pragma_checkpoint_resumes_total",
+		"Replays resumed from a valid checkpoint.")
+
+	// The PAC components of the most recent regrid — the partitioning
+	// quality metric the runtime steers on (imbalance, communication,
+	// data movement, overhead).
+	metricPACImbalance = telemetry.Default.Gauge(
+		"pragma_core_pac_imbalance_percent",
+		"Load imbalance of the current assignment, percent.")
+	metricPACCommVolume = telemetry.Default.Gauge(
+		"pragma_core_pac_comm_volume",
+		"Ghost-communication volume of the current assignment, faces.")
+	metricPACCommMessages = telemetry.Default.Gauge(
+		"pragma_core_pac_comm_messages",
+		"Ghost-communication message count of the current assignment.")
+	metricPACMigration = telemetry.Default.Gauge(
+		"pragma_core_pac_migration_fraction",
+		"Fraction of cells that moved processors at the last regrid.")
+	metricPACOverhead = telemetry.Default.Gauge(
+		"pragma_core_pac_overhead_ratio",
+		"Partitioning-overhead proxy: assignment units per hierarchy box.")
+)

@@ -146,5 +146,6 @@ func loadRunCheckpoint(store *checkpoint.Store, tr *samr.Trace, strat Strategy, 
 			return runCheckpoint{}, false, fmt.Errorf("core: restore strategy state: %w", err)
 		}
 	}
+	metricResumes.Inc()
 	return ck, true, nil
 }

@@ -3,11 +3,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"time"
 
 	"github.com/pragma-grid/pragma/internal/checkpoint"
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/partition"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
 // RunConfig configures a trace replay.
@@ -165,6 +168,10 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 
 	for idx := startIdx; idx < len(tr.Snapshots); idx++ {
 		snap := tr.Snapshots[idx]
+		regridStart := time.Now()
+		cycle := telemetry.DefaultTracer.Begin("regrid",
+			telemetry.String("strategy", strat.Name()),
+			telemetry.String("index", strconv.Itoa(idx)))
 		ctx := &StepContext{
 			Index:          idx,
 			Trace:          tr,
@@ -175,16 +182,22 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			Machine:        cfg.Machine,
 			PrevAssignment: prevA,
 			PrevHierarchy:  prevH,
+			CycleTrace:     cycle,
 		}
+		cycle.StartSpan("repartition")
 		a, label, err := strat.Assign(ctx)
 		if err != nil {
+			cycle.End(telemetry.String("error", err.Error()))
 			return nil, fmt.Errorf("core: regrid %d: %w", idx, err)
 		}
+		cycle.EndSpan(telemetry.String("partitioner", label))
 		if prevLabel != "" && label != prevLabel {
 			res.Switches++
+			metricSwitches.Inc()
 		}
 		prevLabel = label
 
+		cycle.StartSpan("pac")
 		comm := partition.Communication(snap.H, a)
 		units := float64(len(a.Units))
 		splitCost := a.SplitCost
@@ -197,11 +210,16 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			CommMessages: comm.Messages,
 			Imbalance:    a.Imbalance(),
 		}
+		cycle.EndSpan(
+			telemetry.String("imbalance_pct", strconv.FormatFloat(q.Imbalance, 'g', 4, 64)),
+			telemetry.String("comm_volume", strconv.FormatFloat(q.CommVolume, 'g', 4, 64)))
+		cycle.StartSpan("migration")
 		var migTime float64
 		if prevA != nil && prevH != nil {
 			q.Migration = partition.MigrationFraction(prevH, prevA, snap.H, a)
 			migTime = cfg.Machine.MigrationTime(q.Migration*float64(snap.H.TotalCells()), cost)
 		}
+		cycle.EndSpan(telemetry.String("fraction", strconv.FormatFloat(q.Migration, 'g', 4, 64)))
 		boxes := 0
 		for _, lb := range snap.H.Levels {
 			boxes += len(lb)
@@ -209,6 +227,11 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		if boxes > 0 {
 			q.Overhead = units / float64(boxes)
 		}
+		metricPACImbalance.Set(q.Imbalance)
+		metricPACCommVolume.Set(q.CommVolume)
+		metricPACCommMessages.Set(q.CommMessages)
+		metricPACMigration.Set(q.Migration)
+		metricPACOverhead.Set(q.Overhead)
 
 		res.PartitionTime += partTime
 		res.MigrationTime += migTime
@@ -216,6 +239,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 
 		stat := SnapshotStat{Index: idx, Partitioner: label, Quality: q, Overhead: partTime + migTime}
 		work := a.Work()
+		cycle.StartSpan("steps")
 		for s := 0; s < stepsPerRegrid; s++ {
 			sc := cfg.Machine.Step(work, comm.PerProcVolume, comm.PerProcMessages, simTime, cost)
 			if math.IsInf(sc.Total, 1) {
@@ -236,6 +260,8 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 					comm = partition.Communication(snap.H, a)
 					work = a.Work()
 					res.Recoveries++
+					metricRecoveries.Inc()
+					cycle.Event("recovery", telemetry.String("partitioner", label2))
 					sc = cfg.Machine.Step(work, comm.PerProcVolume, comm.PerProcMessages, simTime, cost)
 				}
 			}
@@ -245,6 +271,11 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			res.CommTime += sc.Comm
 			res.Steps++
 		}
+		cycle.EndSpan(telemetry.String("count", strconv.Itoa(stepsPerRegrid)))
+		metricSteps.Add(uint64(stepsPerRegrid))
+		metricRegrids.Inc()
+		metricRegridSeconds.Observe(time.Since(regridStart).Seconds())
+		cycle.End()
 		res.Snapshots = append(res.Snapshots, stat)
 		imbSum += q.Imbalance
 		if q.Imbalance > res.MaxImbalance {

@@ -8,6 +8,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/monitor"
 	"github.com/pragma-grid/pragma/internal/partition"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
 // StepContext carries everything a strategy may consult when partitioning
@@ -31,6 +32,10 @@ type StepContext struct {
 	// (nil at the first regrid).
 	PrevAssignment *partition.Assignment
 	PrevHierarchy  *samr.Hierarchy
+	// CycleTrace, when non-nil, records this regrid cycle in the telemetry
+	// trace ring; strategies annotate it with classification and selection
+	// events (nil-safe to use).
+	CycleTrace *telemetry.Trace
 }
 
 // Strategy decides how each regrid point is partitioned. Implementations
@@ -82,10 +87,12 @@ func (a Adaptive) Assign(ctx *StepContext) (*partition.Assignment, string, error
 	if meta == nil {
 		meta = NewMetaPartitioner()
 	}
-	p, _, err := meta.SelectAt(ctx.Trace, ctx.Index)
+	p, oct, err := meta.SelectAt(ctx.Trace, ctx.Index)
 	if err != nil {
 		return nil, "", err
 	}
+	ctx.CycleTrace.Event("octant-classified", telemetry.String("octant", oct.String()))
+	ctx.CycleTrace.Event("partitioner-selected", telemetry.String("partitioner", p.Name()))
 	asg, err := p.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
 	if err != nil {
 		return nil, "", err
@@ -102,6 +109,7 @@ func (a Adaptive) Assign(ctx *StepContext) (*partition.Assignment, string, error
 		// The guard costs an extra partitioning pass; charge it.
 		alt.SplitCost += asg.SplitCost * float64(len(asg.Units)) / float64(max(len(alt.Units), 1))
 		if alt.Imbalance() < asg.Imbalance() {
+			ctx.CycleTrace.Event("imbalance-guard", telemetry.String("fallback", fallback.Name()))
 			return alt, fallback.Name(), nil
 		}
 	}

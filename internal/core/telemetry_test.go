@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/telemetry"
+)
+
+// counterTotal sums a counter family across all its label combinations in
+// the global registry.
+func counterTotal(name string) float64 {
+	var total float64
+	for _, s := range telemetry.Default.Snapshot().Find(name) {
+		total += s.Value
+	}
+	return total
+}
+
+func histogramCount(name string) uint64 {
+	var total uint64
+	for _, s := range telemetry.Default.Snapshot().Find(name) {
+		total += s.Count
+	}
+	return total
+}
+
+// TestRunRecordsTelemetry replays a trace end to end and asserts that the
+// run showed up in the process-global registry and trace ring — the same
+// signals a scraper of /metrics and /debug/pragma would see. The metrics
+// are global and shared across tests, so everything is asserted as deltas.
+func TestRunRecordsTelemetry(t *testing.T) {
+	tr := testTrace(t)
+	machine := cluster.Homogeneous(8, 1e5, 512, 100)
+
+	regridsBefore := counterTotal("pragma_core_regrids_total")
+	selectedBefore := counterTotal("pragma_core_partitioner_selected_total")
+	observedBefore := histogramCount("pragma_core_regrid_seconds")
+	tracesBefore := len(telemetry.DefaultTracer.Traces())
+
+	if _, err := Run(tr, Adaptive{}, RunConfig{Machine: machine, NProcs: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	n := float64(len(tr.Snapshots))
+	if got := counterTotal("pragma_core_regrids_total") - regridsBefore; got != n {
+		t.Fatalf("regrids counter advanced by %g, want %g", got, n)
+	}
+	if got := counterTotal("pragma_core_partitioner_selected_total") - selectedBefore; got < n {
+		t.Fatalf("partitioner selections advanced by %g, want >= %g", got, n)
+	}
+	if got := histogramCount("pragma_core_regrid_seconds") - observedBefore; got != uint64(n) {
+		t.Fatalf("regrid histogram gained %d observations, want %d", got, uint64(n))
+	}
+
+	// The selection counters must be keyed by octant.
+	for _, s := range telemetry.Default.Snapshot().Find("pragma_core_partitioner_selected_total") {
+		if s.Labels["partitioner"] == "" || s.Labels["octant"] == "" {
+			t.Fatalf("selection series missing labels: %+v", s)
+		}
+	}
+
+	// The trace ring must hold complete regrid cycles: root attrs plus the
+	// repartition/pac/migration/steps spans, all closed.
+	traces := telemetry.DefaultTracer.Traces()
+	if len(traces) <= tracesBefore && len(traces) != cap(traces) {
+		t.Fatalf("no regrid traces committed (before %d, after %d)", tracesBefore, len(traces))
+	}
+	last := traces[len(traces)-1]
+	if last.Name != "regrid" {
+		t.Fatalf("last trace is %q, want regrid", last.Name)
+	}
+	spans := map[string]bool{}
+	for _, s := range last.Spans {
+		if s.End < s.Start {
+			t.Fatalf("span %q left open", s.Name)
+		}
+		spans[s.Name] = true
+	}
+	for _, want := range []string{"repartition", "pac", "migration", "steps"} {
+		if !spans[want] {
+			t.Fatalf("regrid trace missing span %q (have %v)", want, spans)
+		}
+	}
+	events := map[string]bool{}
+	for _, e := range last.Events {
+		events[e.Name] = true
+	}
+	if !events["octant-classified"] || !events["partitioner-selected"] {
+		t.Fatalf("regrid trace missing classification events (have %v)", events)
+	}
+}

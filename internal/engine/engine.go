@@ -338,8 +338,16 @@ func (e *Engine) Run(steps int) (Report, error) {
 	wg.Wait()
 	<-coordDone
 	if err := sup.failure(); err != nil {
+		var lw *LostWorkersError
+		if errors.As(err, &lw) {
+			metricLostWorkers.Add(uint64(len(lw.Missing)))
+			metricRunsTotal.With("lost-workers").Inc()
+		} else {
+			metricRunsTotal.With("error").Inc()
+		}
 		return Report{}, err
 	}
+	metricRunsTotal.With("ok").Inc()
 	rep := Report{Steps: steps}
 	for _, w := range e.workers {
 		rep.Workers = append(rep.Workers, w.report)
@@ -352,6 +360,8 @@ func (e *Engine) Run(steps int) (Report, error) {
 // missing processors — lost-worker detection.
 func (e *Engine) coordinate(steps int, sup *supervisor) {
 	for s := 0; s < steps; s++ {
+		stepStart := time.Now()
+		var firstBarrier time.Time
 		arrived := make(map[string]bool, len(e.workers))
 		for len(arrived) < len(e.workers) {
 			m, ok, err := recvWait(e.coord, sup.abort, e.opts.stepDeadline)
@@ -370,9 +380,16 @@ func (e *Engine) coordinate(steps int, sup *supervisor) {
 				return
 			}
 			if m.Kind == "barrier" {
+				if len(arrived) == 0 {
+					firstBarrier = time.Now()
+				}
 				arrived[m.From] = true
 			}
 		}
+		if !firstBarrier.IsZero() {
+			metricBarrierWaitSeconds.Observe(time.Since(firstBarrier).Seconds())
+		}
+		metricStepSeconds.Observe(time.Since(stepStart).Seconds())
 		for p := range e.workers {
 			if err := e.coordown.Send(agents.Message{
 				From: e.coordName(), To: e.portName(p), Kind: "proceed",
@@ -444,6 +461,7 @@ func (w *worker) run(e *Engine, steps int, sup *supervisor) error {
 			}
 			w.report.MessagesSent++
 			w.report.FacesSent += snd.faces
+			metricGhostsSent.Inc()
 		}
 		// Signal the barrier after sends; then drain this step's ghosts and
 		// one proceed token, stashing early arrivals from the next step.
@@ -478,6 +496,7 @@ func (w *worker) run(e *Engine, steps int, sup *supervisor) error {
 				// recorded — is replayed or corrupted traffic: drop it.
 				if g.Step < s || g.Step > s+1 || seen[g.Step][g.Pair] {
 					w.report.GhostsDropped++
+					metricGhostsDropped.Inc()
 					continue
 				}
 				if seen[g.Step] == nil {
@@ -497,6 +516,7 @@ func (w *worker) run(e *Engine, steps int, sup *supervisor) error {
 		sort.Slice(arrived, func(i, j int) bool { return arrived[i].Pair < arrived[j].Pair })
 		for _, g := range arrived {
 			w.report.MessagesRecv++
+			metricGhostsRecv.Inc()
 			w.report.Checksum = mix(w.report.Checksum, g.Checksum^uint64(g.Step))
 		}
 	}

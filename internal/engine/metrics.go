@@ -1,0 +1,30 @@
+package engine
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// Engine instrumentation. All handles are resolved once here; the step
+// loop and ghost exchange touch only atomic counters.
+var (
+	metricStepSeconds = telemetry.Default.Histogram(
+		"pragma_engine_step_seconds",
+		"Wall-clock duration of one BSP step, coordinator view (barrier to barrier).",
+		nil)
+	metricBarrierWaitSeconds = telemetry.Default.Histogram(
+		"pragma_engine_barrier_wait_seconds",
+		"Coordinator wait between the first and last barrier arrival of a step — straggler skew.",
+		nil)
+	metricGhostMessages = telemetry.Default.CounterVec(
+		"pragma_engine_ghost_messages_total",
+		"Ghost-exchange messages by outcome: sent, received, or dropped (stale, early, or duplicate).",
+		"outcome")
+	metricGhostsSent    = metricGhostMessages.With("sent")
+	metricGhostsRecv    = metricGhostMessages.With("received")
+	metricGhostsDropped = metricGhostMessages.With("dropped")
+	metricLostWorkers   = telemetry.Default.Counter(
+		"pragma_engine_lost_workers_total",
+		"Processors declared lost after missing a step deadline.")
+	metricRunsTotal = telemetry.Default.CounterVec(
+		"pragma_engine_runs_total",
+		"Engine runs by result.",
+		"result")
+)

@@ -104,6 +104,7 @@ func Capacities(readings []Reading, w Weights) ([]float64, error) {
 	for i := range caps {
 		caps[i] /= total
 	}
+	setCapacityGauges(metricRelativeCapacity, caps)
 	return caps, nil
 }
 
@@ -159,5 +160,10 @@ func PredictiveCapacities(history [][]Reading, w Weights) ([]float64, error) {
 			BandwidthMBps: last[k].BandwidthMBps,
 		}
 	}
-	return Capacities(predicted, w)
+	caps, err := Capacities(predicted, w)
+	if err != nil {
+		return nil, err
+	}
+	setCapacityGauges(metricPredictedCapacity, caps)
+	return caps, nil
 }

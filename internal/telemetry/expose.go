@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes a HELP string per the Prometheus text format:
+// backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPairs renders {k="v",...} for the given names and values; extra
+// appends additional pre-rendered pairs (used for histogram le). Empty
+// when there are no pairs at all.
+func labelPairs(names, values []string, extra string) string {
+	if len(names) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and children
+// by label values, histograms with cumulative buckets plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range children {
+			switch {
+			case c.counter != nil:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelPairs(f.labels, c.values, ""), c.counter.Value()); err != nil {
+					return err
+				}
+			case c.gauge != nil:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labels, c.values, ""), formatFloat(c.gauge.Value())); err != nil {
+					return err
+				}
+			case c.histogram != nil:
+				h := c.histogram
+				bounds, cum := h.Buckets()
+				for i, bound := range bounds {
+					le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, c.values, le), cum[i]); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, c.values, `le="+Inf"`), cum[len(cum)-1]); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPairs(f.labels, c.values, ""), formatFloat(h.Sum())); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPairs(f.labels, c.values, ""), cum[len(cum)-1]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BucketSnapshot is one histogram bucket in a Snapshot.
+type BucketSnapshot struct {
+	// UpperBound is the bucket's le bound; +Inf is omitted (it equals
+	// Count).
+	UpperBound float64 `json:"le"`
+	// CumulativeCount counts observations <= UpperBound.
+	CumulativeCount uint64 `json:"count"`
+}
+
+// SeriesSnapshot is one labeled series in a Snapshot.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds counter and gauge values.
+	Value float64 `json:"value"`
+	// Sum, Count and Buckets are histogram-only.
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"observations,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// MetricSnapshot is one metric family in a Snapshot.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time JSON-friendly copy of the registry — the
+// programmatic twin of WritePrometheus, consumed by reports and tests
+// that want values rather than text.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		ms := MetricSnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, c := range f.sortedChildren() {
+			var s SeriesSnapshot
+			if len(f.labels) > 0 {
+				s.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					s.Labels[l] = c.values[i]
+				}
+			}
+			switch {
+			case c.counter != nil:
+				s.Value = float64(c.counter.Value())
+			case c.gauge != nil:
+				s.Value = c.gauge.Value()
+			case c.histogram != nil:
+				bounds, cum := c.histogram.Buckets()
+				s.Sum = c.histogram.Sum()
+				s.Count = cum[len(cum)-1]
+				for i, b := range bounds {
+					s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: b, CumulativeCount: cum[i]})
+				}
+			}
+			ms.Series = append(ms.Series, s)
+		}
+		if len(ms.Series) > 0 {
+			snap.Metrics = append(snap.Metrics, ms)
+		}
+	}
+	return snap
+}
+
+// Find returns the series of the named metric in the snapshot, nil when
+// the metric is absent.
+func (s Snapshot) Find(name string) []SeriesSnapshot {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Series
+		}
+	}
+	return nil
+}

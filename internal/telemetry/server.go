@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHandler builds the telemetry HTTP mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/metrics.json  JSON snapshot of reg
+//	/healthz       200 "ok" while health() returns nil, else 503
+//	/debug/pragma  JSONL dump of tracer's recorded traces
+//
+// health may be nil (always healthy); tracer may be nil (empty dump).
+func NewHandler(reg *Registry, tracer *Tracer, health func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pragma", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		tracer.WriteJSONL(w)
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once it is listening. Close shuts it down.
+func Serve(addr string, reg *Registry, tracer *Tracer, health func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	srv := &Server{
+		ln: ln,
+		http: &http.Server{
+			Handler:           NewHandler(reg, tracer, health),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go srv.http.Serve(ln)
+	return srv, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }

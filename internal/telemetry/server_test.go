@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv_total", "a counter").Add(9)
+	tr := NewTracer(4)
+	c := tr.Begin("regrid")
+	c.StartSpan("repartition")
+	c.EndSpan()
+	c.End()
+
+	srv := httptest.NewServer(NewHandler(r, tr, nil))
+	defer srv.Close()
+
+	code, body, ct := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, "srv_total 9\n") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, ct = get(t, srv, "/metrics.json")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json status %d content-type %q", code, ct)
+	}
+	if !strings.Contains(body, `"srv_total"`) {
+		t.Fatalf("/metrics.json missing metric:\n%s", body)
+	}
+
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, srv, "/debug/pragma")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pragma status %d", code)
+	}
+	if !strings.Contains(body, `"name":"regrid"`) || !strings.Contains(body, `"repartition"`) {
+		t.Fatalf("/debug/pragma missing trace:\n%s", body)
+	}
+}
+
+func TestHealthzUnhealthy(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil, func() error {
+		return errors.New("control network partitioned")
+	}))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d, want 503", code)
+	}
+	if !strings.Contains(body, "control network partitioned") {
+		t.Fatalf("/healthz body %q", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("live_total", "").Inc()
+	srv, err := Serve("127.0.0.1:0", r, NewTracer(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "live_total 1") {
+		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a trace, span or event. Values are
+// strings to keep the schema flat and the JSONL dump greppable.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// String builds an Attr.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed phase inside a trace (e.g. "assign", "migration").
+type Span struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start_us"` // microseconds since the trace start
+	End   int64  `json:"end_us"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// TraceEvent is one instantaneous annotation inside a trace (e.g.
+// "octant-classified").
+type TraceEvent struct {
+	Name  string `json:"name"`
+	At    int64  `json:"at_us"` // microseconds since the trace start
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Trace is one recorded cycle: a named root with spans and events. A nil
+// *Trace is a valid no-op receiver for every method, so instrumented code
+// can carry an optional trace without nil checks.
+type Trace struct {
+	tracer *Tracer
+
+	mu     sync.Mutex
+	id     uint64
+	name   string
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+	spans  []Span
+	events []TraceEvent
+	open   []int // indexes of started-but-unended spans, innermost last
+	done   bool
+}
+
+// TraceRecord is the JSON form of a committed trace — one line of the
+// /debug/pragma dump.
+type TraceRecord struct {
+	ID       uint64       `json:"id"`
+	Name     string       `json:"name"`
+	Start    time.Time    `json:"start"`
+	Duration float64      `json:"duration_seconds"`
+	Attrs    []Attr       `json:"attrs,omitempty"`
+	Spans    []Span       `json:"spans,omitempty"`
+	Events   []TraceEvent `json:"events,omitempty"`
+}
+
+// Tracer records traces into a fixed-capacity ring: memory is bounded and
+// the newest traces win. The zero value is unusable; use NewTracer.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []TraceRecord
+	next  int // ring slot the next committed trace lands in
+	count int // committed traces, saturating at len(ring)
+	seq   uint64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity traces
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]TraceRecord, capacity)}
+}
+
+// Begin starts a trace. The trace is invisible to Traces and dumps until
+// End commits it; an abandoned trace costs only its own memory.
+func (t *Tracer) Begin(name string, attrs ...Attr) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	id := t.seq
+	t.mu.Unlock()
+	return &Trace{
+		tracer: t,
+		id:     id,
+		name:   name,
+		start:  time.Now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+}
+
+// us converts an absolute time into microseconds since the trace start.
+func (tr *Trace) us(at time.Time) int64 { return at.Sub(tr.start).Microseconds() }
+
+// StartSpan opens a timed phase. Spans may nest; End closes the innermost
+// open span. The returned index is consumed by EndSpan via the trace's own
+// bookkeeping, so callers just pair StartSpan with EndSpan.
+func (tr *Trace) StartSpan(name string, attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.done {
+		return
+	}
+	tr.spans = append(tr.spans, Span{
+		Name:  name,
+		Start: tr.us(time.Now()),
+		End:   -1,
+		Attrs: append([]Attr(nil), attrs...),
+	})
+	tr.open = append(tr.open, len(tr.spans)-1)
+}
+
+// EndSpan closes the innermost open span, attaching any extra attributes.
+func (tr *Trace) EndSpan(attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.done || len(tr.open) == 0 {
+		return
+	}
+	i := tr.open[len(tr.open)-1]
+	tr.open = tr.open[:len(tr.open)-1]
+	tr.spans[i].End = tr.us(time.Now())
+	tr.spans[i].Attrs = append(tr.spans[i].Attrs, attrs...)
+}
+
+// Event records an instantaneous annotation.
+func (tr *Trace) Event(name string, attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.done {
+		return
+	}
+	tr.events = append(tr.events, TraceEvent{
+		Name:  name,
+		At:    tr.us(time.Now()),
+		Attrs: append([]Attr(nil), attrs...),
+	})
+}
+
+// End commits the trace into the tracer's ring, closing any spans left
+// open. Calling End twice is a no-op.
+func (tr *Trace) End(attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.end = time.Now()
+	endUS := tr.us(tr.end)
+	for _, i := range tr.open {
+		tr.spans[i].End = endUS
+	}
+	tr.open = nil
+	tr.attrs = append(tr.attrs, attrs...)
+	rec := TraceRecord{
+		ID:       tr.id,
+		Name:     tr.name,
+		Start:    tr.start,
+		Duration: tr.end.Sub(tr.start).Seconds(),
+		Attrs:    tr.attrs,
+		Spans:    tr.spans,
+		Events:   tr.events,
+	}
+	t := tr.tracer
+	tr.mu.Unlock()
+
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the committed traces, oldest first.
+func (t *Tracer) Traces() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// WriteJSONL dumps the committed traces as one JSON object per line,
+// oldest first — the /debug/pragma format.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Traces() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

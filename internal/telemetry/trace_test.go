@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpansAndEvents(t *testing.T) {
+	tr := NewTracer(4)
+	c := tr.Begin("regrid", String("strategy", "adaptive"))
+	c.StartSpan("repartition")
+	c.Event("octant-classified", String("octant", "VII"))
+	c.EndSpan(String("partitioner", "G-MISP+SP"))
+	c.StartSpan("outer")
+	c.StartSpan("inner")
+	c.EndSpan() // closes inner
+	c.End(String("result", "ok"))
+
+	recs := tr.Traces()
+	if len(recs) != 1 {
+		t.Fatalf("got %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Name != "regrid" || rec.ID != 1 {
+		t.Fatalf("unexpected record %+v", rec)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rec.Spans))
+	}
+	for _, s := range rec.Spans {
+		if s.End < s.Start {
+			t.Fatalf("span %q left open: start %d end %d", s.Name, s.Start, s.End)
+		}
+	}
+	if rec.Spans[0].Attrs[len(rec.Spans[0].Attrs)-1].Value != "G-MISP+SP" {
+		t.Fatalf("EndSpan attrs not attached: %+v", rec.Spans[0].Attrs)
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Name != "octant-classified" {
+		t.Fatalf("events = %+v", rec.Events)
+	}
+	if got := rec.Attrs[len(rec.Attrs)-1]; got.Key != "result" {
+		t.Fatalf("End attrs not attached: %+v", rec.Attrs)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		c := tr.Begin(fmt.Sprintf("t%d", i))
+		c.End()
+	}
+	recs := tr.Traces()
+	if len(recs) != 4 {
+		t.Fatalf("got %d traces, want 4 (ring capacity)", len(recs))
+	}
+	for i, rec := range recs {
+		wantID := uint64(7 + i) // oldest surviving is #7, oldest first
+		if rec.ID != wantID {
+			t.Fatalf("traces[%d].ID = %d, want %d", i, rec.ID, wantID)
+		}
+	}
+}
+
+func TestTraceEndIdempotentAndAbandoned(t *testing.T) {
+	tr := NewTracer(4)
+	c := tr.Begin("once")
+	c.End()
+	c.End()
+	c.Event("after-end") // must not resurface
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("double End committed %d traces", got)
+	}
+	tr.Begin("abandoned") // never ended: invisible
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("abandoned trace committed (%d traces)", got)
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("s")
+	tr.EndSpan()
+	tr.Event("e")
+	tr.End()
+	var tc *Tracer
+	got := tc.Begin("x")
+	if got != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	got.StartSpan("s")
+	got.End()
+	if tc.Traces() != nil {
+		t.Fatal("nil tracer has traces")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		c := tr.Begin("cycle", String("index", strconv.Itoa(i)))
+		c.StartSpan("phase")
+		c.EndSpan()
+		c.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var rec TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if rec.Name != "cycle" {
+			t.Fatalf("line %d name = %q", lines, rec.Name)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", lines)
+	}
+}
+
+// TestTracerConcurrent commits traces from many goroutines while readers
+// drain the ring; under -race this is the ring's thread-safety proof.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := tr.Begin("concurrent")
+				c.StartSpan("s")
+				c.Event("e")
+				c.EndSpan()
+				c.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			if got := len(tr.Traces()); got != 16 {
+				t.Fatalf("ring holds %d traces, want 16", got)
+			}
+			return
+		default:
+			tr.Traces()
+		}
+	}
+}

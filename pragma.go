@@ -41,6 +41,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/policy"
 	"github.com/pragma-grid/pragma/internal/rm3d"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
 // Re-exported core types. The implementation lives in internal packages;
@@ -481,3 +482,38 @@ func (r Runtime) Execute(opts ...RunOption) (*RunResult, error) {
 	}
 	return core.Run(r.Trace, strat, cfg)
 }
+
+// Telemetry aliases. The implementation lives in internal/telemetry; see
+// DESIGN.md §10 for the metric naming conventions and the trace schema.
+type (
+	// TelemetryRegistry is a concurrency-safe metrics registry (counters,
+	// gauges, histograms) with Prometheus text exposition.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryTracer records regrid cycles as structured traces in a
+	// bounded ring.
+	TelemetryTracer = telemetry.Tracer
+	// TelemetryServer is a running telemetry HTTP endpoint.
+	TelemetryServer = telemetry.Server
+	// TelemetrySnapshot is a point-in-time JSON view of a registry.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// Telemetry returns the process-global metrics registry every instrumented
+// layer (engine, agents, core, checkpoint, monitor) records into.
+func Telemetry() *TelemetryRegistry { return telemetry.Default }
+
+// RegridTraces returns the process-global tracer holding the most recent
+// regrid-cycle traces.
+func RegridTraces() *TelemetryTracer { return telemetry.DefaultTracer }
+
+// ServeTelemetry starts an HTTP server on addr exposing the global registry
+// and tracer: /metrics (Prometheus text), /metrics.json (snapshot),
+// /healthz, and /debug/pragma (regrid traces as JSONL). Close the returned
+// server when done.
+func ServeTelemetry(addr string) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, telemetry.Default, telemetry.DefaultTracer, nil)
+}
+
+// RegisterQueueDepthGauge exposes a Message Center's aggregate mailbox
+// depth as the pragma_agents_queue_depth gauge, sampled at scrape time.
+func RegisterQueueDepthGauge(c *MessageCenter) { agents.RegisterQueueDepthGauge(c) }
