@@ -8,7 +8,7 @@ import "github.com/pragma-grid/pragma/internal/telemetry"
 var (
 	metricRegridSeconds = telemetry.Default.Histogram(
 		"pragma_core_regrid_seconds",
-		"Wall-clock duration of one regrid cycle: partitioning decision, PAC evaluation, and interval bookkeeping.",
+		"Wall-clock duration of one regrid decision: partitioning, PAC evaluation, and interval bookkeeping, excluding the simulated BSP steps.",
 		nil)
 	metricPartitionerSelected = telemetry.Default.CounterVec(
 		"pragma_core_partitioner_selected_total",

@@ -238,6 +238,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		simTime += partTime + migTime
 
 		stat := SnapshotStat{Index: idx, Partitioner: label, Quality: q, Overhead: partTime + migTime}
+		metricRegridSeconds.Observe(time.Since(regridStart).Seconds())
 		work := a.Work()
 		cycle.StartSpan("steps")
 		for s := 0; s < stepsPerRegrid; s++ {
@@ -274,7 +275,6 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		cycle.EndSpan(telemetry.String("count", strconv.Itoa(stepsPerRegrid)))
 		metricSteps.Add(uint64(stepsPerRegrid))
 		metricRegrids.Inc()
-		metricRegridSeconds.Observe(time.Since(regridStart).Seconds())
 		cycle.End()
 		res.Snapshots = append(res.Snapshots, stat)
 		imbSum += q.Imbalance

@@ -77,8 +77,20 @@ func (w Weights) Validate() error {
 
 // Capacities implements the capacity calculator of Fig. 4: the relative
 // capacity of node k is the weighted sum of its normalized available CPU,
-// memory and link bandwidth. The result sums to 1.
+// memory and link bandwidth. The result sums to 1. It publishes the
+// pragma_monitor_relative_capacity gauges; the predictive variant goes
+// through capacities directly so the reactive gauges keep their meaning.
 func Capacities(readings []Reading, w Weights) ([]float64, error) {
+	caps, err := capacities(readings, w)
+	if err != nil {
+		return nil, err
+	}
+	setCapacityGauges(metricRelativeCapacity, caps)
+	return caps, nil
+}
+
+// capacities is Capacities without the gauge publication.
+func capacities(readings []Reading, w Weights) ([]float64, error) {
 	if len(readings) == 0 {
 		return nil, fmt.Errorf("monitor: no readings")
 	}
@@ -104,7 +116,6 @@ func Capacities(readings []Reading, w Weights) ([]float64, error) {
 	for i := range caps {
 		caps[i] /= total
 	}
-	setCapacityGauges(metricRelativeCapacity, caps)
 	return caps, nil
 }
 
@@ -160,7 +171,7 @@ func PredictiveCapacities(history [][]Reading, w Weights) ([]float64, error) {
 			BandwidthMBps: last[k].BandwidthMBps,
 		}
 	}
-	caps, err := Capacities(predicted, w)
+	caps, err := capacities(predicted, w)
 	if err != nil {
 		return nil, err
 	}

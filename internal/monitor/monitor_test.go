@@ -3,9 +3,11 @@ package monitor
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
 func TestForecastersOnConstantSeries(t *testing.T) {
@@ -216,6 +218,54 @@ func TestPredictiveCapacities(t *testing.T) {
 	if _, err := PredictiveCapacities(ragged, DefaultWeights()); err == nil {
 		t.Error("ragged history accepted")
 	}
+}
+
+// TestPredictiveKeepsReactiveGauges guards the distinction between the two
+// capacity gauge families: a PredictiveCapacities run must publish only
+// pragma_monitor_predicted_capacity, leaving the reactive gauges at the
+// values of the last direct Capacities call.
+func TestPredictiveKeepsReactiveGauges(t *testing.T) {
+	readings := []Reading{
+		{CPU: 1.0, MemoryMB: 512, BandwidthMBps: 100},
+		{CPU: 0.5, MemoryMB: 512, BandwidthMBps: 100},
+	}
+	reactive, err := Capacities(readings, Weights{CPU: 1, Memory: 0, Bandwidth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A history whose predicted CPUs differ from the instantaneous
+	// readings, so predictive capacities diverge from reactive ones.
+	var history [][]Reading
+	for i := 0; i < 32; i++ {
+		history = append(history, []Reading{
+			{Time: float64(i), CPU: 0.2, MemoryMB: 512, BandwidthMBps: 100},
+			{Time: float64(i), CPU: 0.9, MemoryMB: 512, BandwidthMBps: 100},
+		})
+	}
+	predicted, err := PredictiveCapacities(history, Weights{CPU: 1, Memory: 0, Bandwidth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(predicted[0]-reactive[0]) < 1e-6 {
+		t.Fatal("test needs diverging reactive/predictive capacities")
+	}
+
+	snap := telemetry.Default.Snapshot()
+	check := func(name string, want []float64) {
+		t.Helper()
+		series := snap.Find(name)
+		got := make(map[string]float64, len(series))
+		for _, s := range series {
+			got[s.Labels["node"]] = s.Value
+		}
+		for i, w := range want {
+			if v, ok := got[strconv.Itoa(i)]; !ok || math.Abs(v-w) > 1e-9 {
+				t.Errorf("%s{node=%d} = %g, want %g", name, i, v, w)
+			}
+		}
+	}
+	check("pragma_monitor_relative_capacity", reactive)
+	check("pragma_monitor_predicted_capacity", predicted)
 }
 
 func TestMetaMSEMap(t *testing.T) {

@@ -242,6 +242,16 @@ func (r *Registry) lookup(name, help string, kind Kind, labels []string, buckets
 			panic(fmt.Sprintf("telemetry: metric %q re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
 		}
 	}
+	if kind == KindHistogram {
+		if len(f.buckets) != len(buckets) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with %d buckets (was %d)", name, len(buckets), len(f.buckets)))
+		}
+		for i := range buckets {
+			if f.buckets[i] != buckets[i] {
+				panic(fmt.Sprintf("telemetry: metric %q re-registered with bucket %g (was %g)", name, buckets[i], f.buckets[i]))
+			}
+		}
+	}
 	return f
 }
 

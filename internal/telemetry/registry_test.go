@@ -126,6 +126,10 @@ func TestRegistrationPanics(t *testing.T) {
 		"unsorted buckets": func(r *Registry) {
 			r.Histogram("h_seconds", "", []float64{2, 1})
 		},
+		"bucket mismatch": func(r *Registry) {
+			r.Histogram("hb_seconds", "", []float64{1, 2})
+			r.Histogram("hb_seconds", "", []float64{1, 3})
+		},
 		"wrong value count": func(r *Registry) {
 			r.CounterVec("vc_total", "", "a").With("x", "y")
 		},
