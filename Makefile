@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet bench bench-telemetry experiments ablations extensions fmt cover clean
+.PHONY: build test test-short vet bench bench-telemetry bench-pac experiments ablations extensions fmt cover clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ bench:
 # Hot-path metric benchmarks (counters and histograms must stay 0 allocs/op).
 bench-telemetry:
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/telemetry/
+
+# PAC evaluation kernel benchmarks on the paper-scale hierarchy: CommPlan
+# kernels vs the retained sequential reference. benchstat-friendly; pipe
+# two runs through benchstat to compare.
+bench-pac:
+	$(GO) test -bench='EvalQuality|Adjacency|CommPlan|Migration' -benchmem -run='^$$' ./internal/partition/
 
 # Print every table and figure of the paper.
 experiments:

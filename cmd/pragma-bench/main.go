@@ -11,10 +11,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/pragma-grid/pragma/internal/experiments"
 	"github.com/pragma-grid/pragma/internal/rm3d"
@@ -22,6 +25,33 @@ import (
 
 // rm3dSmall avoids importing rm3d at every call site.
 func rm3dSmall() rm3d.Config { return rm3d.SmallConfig() }
+
+// out receives the human-readable tables. Under -json it switches to
+// stderr so stdout carries exactly one machine-readable JSON object.
+var out io.Writer = os.Stdout
+
+// runRecord is one table/figure regeneration in the -json report.
+type runRecord struct {
+	Name    string             `json:"name"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the single JSON object -json writes to stdout.
+type benchReport struct {
+	Schema string      `json:"schema"`
+	Small  bool        `json:"small"`
+	Runs   []runRecord `json:"runs"`
+}
+
+// current is the record the running printer adds metrics to via metric().
+var current *runRecord
+
+func metric(key string, v float64) {
+	if current != nil {
+		current.Metrics[key] = v
+	}
+}
 
 func main() {
 	var (
@@ -31,21 +61,33 @@ func main() {
 		small      = flag.Bool("small", false, "use the reduced configuration for Tables 4 and 5")
 		ablations  = flag.Bool("ablations", false, "run the DESIGN.md ablation studies")
 		extensions = flag.Bool("extensions", false, "run the extension experiments (cross-application study, PF runtime prediction)")
+		kernel     = flag.Bool("kernel", false, "benchmark the PAC evaluation kernels (reference vs CommPlan)")
+		jsonOut    = flag.Bool("json", false, "write one JSON object with per-run wall time and key metrics to stdout (tables go to stderr)")
 	)
 	flag.Parse()
-	if !*all && !*ablations && !*extensions && *table == 0 && *figure == 0 {
+	if !*all && !*ablations && !*extensions && !*kernel && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	report := benchReport{Schema: "pragma-bench/v1", Small: *small}
+	if *jsonOut {
+		out = os.Stderr
+	}
 	run := func(name string, f func() error) {
-		fmt.Println(strings.Repeat("=", 64))
-		fmt.Println(name)
-		fmt.Println(strings.Repeat("=", 64))
-		if err := f(); err != nil {
+		fmt.Fprintln(out, strings.Repeat("=", 64))
+		fmt.Fprintln(out, name)
+		fmt.Fprintln(out, strings.Repeat("=", 64))
+		current = &runRecord{Name: name, Metrics: map[string]float64{}}
+		start := time.Now()
+		err := f()
+		current.Seconds = time.Since(start).Seconds()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		report.Runs = append(report.Runs, *current)
+		current = nil
+		fmt.Fprintln(out)
 	}
 	want := func(n int, sel *int) bool { return *all || *sel == n }
 
@@ -79,15 +121,44 @@ func main() {
 	if *extensions {
 		run("Extension experiments", func() error { return printExtensions() })
 	}
+	if *kernel {
+		run("PAC evaluation kernels (sequential reference vs CommPlan)", func() error { return printKernel() })
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printKernel regenerates the EXPERIMENTS.md kernel table: before/after
+// wall time of each PAC evaluation primitive on the paper-scale hierarchy.
+func printKernel() error {
+	rows, err := experiments.KernelBench(5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-14s %-16s %-16s %s\n", "Kernel", "Reference (ms)", "CommPlan (ms)", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-14s %-16.3f %-16.3f %.1fx\n",
+			r.Kernel, r.ReferenceSeconds*1e3, r.PlanSeconds*1e3, r.Speedup)
+		metric(r.Kernel+"_reference_s", r.ReferenceSeconds)
+		metric(r.Kernel+"_plan_s", r.PlanSeconds)
+		metric(r.Kernel+"_speedup", r.Speedup)
+	}
+	return nil
 }
 
 func printExtensions() error {
-	fmt.Println("-- Cross-application study (all three §2 driver applications) --")
+	fmt.Fprintln(out, "-- Cross-application study (all three §2 driver applications) --")
 	xRows, err := experiments.CrossApplication(8)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-10s %-34s %-10s %-22s %s\n", "app", "octant occupancy I..VIII", "adaptive", "best static", "switches")
+	fmt.Fprintf(out, "  %-10s %-34s %-10s %-22s %s\n", "app", "octant occupancy I..VIII", "adaptive", "best static", "switches")
 	for _, r := range xRows {
 		occ := ""
 		for i, v := range r.Occupancy {
@@ -96,11 +167,11 @@ func printExtensions() error {
 			}
 			occ += fmt.Sprintf("%d", v)
 		}
-		fmt.Printf("  %-10s %-34s %8.2fs  %-10s %8.2fs  %d\n",
+		fmt.Fprintf(out, "  %-10s %-34s %8.2fs  %-10s %8.2fs  %d\n",
 			r.Application, occ, r.AdaptiveTime, r.BestStatic, r.BestStaticTime, r.Switches)
 	}
 
-	fmt.Println("-- PF-based application runtime prediction (G-MISP+SP, reduced RM3D) --")
+	fmt.Fprintln(out, "-- PF-based application runtime prediction (G-MISP+SP, reduced RM3D) --")
 	pRows, err := experiments.PFRuntimePrediction(rm3dSmall())
 	if err != nil {
 		return err
@@ -110,7 +181,7 @@ func printExtensions() error {
 		if r.Extrapolated {
 			kind = "extrapolated"
 		}
-		fmt.Printf("  procs %3d: predicted %8.2fs   simulated %8.2fs   error %5.2f%% (%s)\n",
+		fmt.Fprintf(out, "  procs %3d: predicted %8.2fs   simulated %8.2fs   error %5.2f%% (%s)\n",
 			r.Procs, r.Predicted, r.Simulated, r.PercentError, kind)
 	}
 	return nil
@@ -126,35 +197,35 @@ func printAblations(small bool) error {
 		linuxProcs = 8
 	}
 
-	fmt.Println("-- Hilbert vs Morton ordering (SP-ISP) --")
+	fmt.Fprintln(out, "-- Hilbert vs Morton ordering (SP-ISP) --")
 	curveRows, err := experiments.AblationCurves(cfg, procs, 8)
 	if err != nil {
 		return err
 	}
 	for _, r := range curveRows {
-		fmt.Printf("  %-8s comm volume %10.0f   messages %8.1f   imbalance %6.2f%%\n",
+		fmt.Fprintf(out, "  %-8s comm volume %10.0f   messages %8.1f   imbalance %6.2f%%\n",
 			r.Curve, r.CommVolume, r.CommMessages, r.Imbalance)
 	}
 
-	fmt.Println("-- Greedy vs optimal sequence partitioning (G-MISP decomposition) --")
+	fmt.Fprintln(out, "-- Greedy vs optimal sequence partitioning (G-MISP decomposition) --")
 	splitRows, err := experiments.AblationSplitters(cfg, procs, 8)
 	if err != nil {
 		return err
 	}
 	for _, r := range splitRows {
-		fmt.Printf("  %-10s mean imbalance %6.2f%%   max %6.2f%%\n", r.Splitter, r.Imbalance, r.MaxImbalance)
+		fmt.Fprintf(out, "  %-10s mean imbalance %6.2f%%   max %6.2f%%\n", r.Splitter, r.Imbalance, r.MaxImbalance)
 	}
 
-	fmt.Println("-- NWS forecaster suite (CPU availability series) --")
+	fmt.Fprintln(out, "-- NWS forecaster suite (CPU availability series) --")
 	fRows, err := experiments.AblationForecasters(16, 400, 2002)
 	if err != nil {
 		return err
 	}
 	for _, r := range fRows {
-		fmt.Printf("  %-20s MSE %.3e\n", r.Forecaster, r.MSE)
+		fmt.Fprintf(out, "  %-20s MSE %.3e\n", r.Forecaster, r.MSE)
 	}
 
-	fmt.Println("-- Adaptive vs statics across processor counts --")
+	fmt.Fprintln(out, "-- Adaptive vs statics across processor counts --")
 	counts := []int{16, 32, 64}
 	if small {
 		counts = []int{4, 8, 16}
@@ -164,36 +235,36 @@ func printAblations(small bool) error {
 		return err
 	}
 	for _, r := range pRows {
-		fmt.Printf("  procs %3d: adaptive %8.2fs   best static %s %8.2fs   worst static %s %8.2fs   improvement vs worst %.1f%%\n",
+		fmt.Fprintf(out, "  procs %3d: adaptive %8.2fs   best static %s %8.2fs   worst static %s %8.2fs   improvement vs worst %.1f%%\n",
 			r.Procs, r.AdaptiveTime, r.BestStatic, r.BestStaticTime, r.WorstStatic, r.WorstStaticTime, r.AdaptiveVsWorstStatic)
 	}
 
-	fmt.Println("-- Capacity weight sensitivity (Table 5 scenario) --")
+	fmt.Fprintln(out, "-- Capacity weight sensitivity (Table 5 scenario) --")
 	wRows, err := experiments.AblationCapacityWeights(cfg, linuxProcs, 2002)
 	if err != nil {
 		return err
 	}
 	for _, r := range wRows {
-		fmt.Printf("  cpu %.2f mem %.2f bw %.2f: improvement %6.2f%%\n",
+		fmt.Fprintf(out, "  cpu %.2f mem %.2f bw %.2f: improvement %6.2f%%\n",
 			r.Weights.CPU, r.Weights.Memory, r.Weights.Bandwidth, r.Improvement)
 	}
 
-	fmt.Println("-- Fail-stop failure injection (fault-tolerant G-MISP+SP) --")
+	fmt.Fprintln(out, "-- Fail-stop failure injection (fault-tolerant G-MISP+SP) --")
 	fRows2, err := experiments.AblationFailures(cfg, linuxProcs)
 	if err != nil {
 		return err
 	}
 	for _, r := range fRows2 {
-		fmt.Printf("  %-24s runtime %8.2fs   detections %d\n", r.Scenario, r.Runtime, r.Detected)
+		fmt.Fprintf(out, "  %-24s runtime %8.2fs   detections %d\n", r.Scenario, r.Runtime, r.Detected)
 	}
 
-	fmt.Println("-- Runtime-management styles on a loaded cluster --")
+	fmt.Fprintln(out, "-- Runtime-management styles on a loaded cluster --")
 	mRows, err := experiments.AblationManagement(cfg, linuxProcs, 2002)
 	if err != nil {
 		return err
 	}
 	for _, r := range mRows {
-		fmt.Printf("  %-18s runtime %8.2fs   repartitions %d\n", r.Strategy, r.Runtime, r.Repartitions)
+		fmt.Fprintf(out, "  %-18s runtime %8.2fs   repartitions %d\n", r.Strategy, r.Runtime, r.Repartitions)
 	}
 	return nil
 }
@@ -203,18 +274,23 @@ func printTable1() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %-14s %-14s %s\n", "Data Size", "PF(total)", "Measured", "%Error")
-	fmt.Printf("%-12s %-14s %-14s %s\n", "(bytes)", "(s)", "end-to-end (s)", "")
+	fmt.Fprintf(out, "%-12s %-14s %-14s %s\n", "Data Size", "PF(total)", "Measured", "%Error")
+	fmt.Fprintf(out, "%-12s %-14s %-14s %s\n", "(bytes)", "(s)", "end-to-end (s)", "")
+	var maxErr float64
 	for _, r := range rows {
-		fmt.Printf("%-12.0f %-14.4e %-14.4e %.3f\n", r.DataSize, r.Predicted, r.Measured, r.PercentError)
+		fmt.Fprintf(out, "%-12.0f %-14.4e %-14.4e %.3f\n", r.DataSize, r.Predicted, r.Measured, r.PercentError)
+		if e := r.PercentError; e > maxErr {
+			maxErr = e
+		}
 	}
+	metric("max_percent_error", maxErr)
 	return nil
 }
 
 func printTable2() error {
-	fmt.Printf("%-8s %s\n", "Octant", "Scheme")
+	fmt.Fprintf(out, "%-8s %s\n", "Octant", "Scheme")
 	for _, r := range experiments.Table2() {
-		fmt.Printf("%-8s %s\n", r.Octant, strings.Join(r.Schemes, ", "))
+		fmt.Fprintf(out, "%-8s %s\n", r.Octant, strings.Join(r.Schemes, ", "))
 	}
 	return nil
 }
@@ -224,9 +300,9 @@ func printTable3() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %-14s %s\n", "Time-step", "Octant State", "Partitioner")
+	fmt.Fprintf(out, "%-10s %-14s %s\n", "Time-step", "Octant State", "Partitioner")
 	for _, r := range rows {
-		fmt.Printf("%-10d %-14s %s\n", r.TimeStep, r.Octant, r.Partitioner)
+		fmt.Fprintf(out, "%-10d %-14s %s\n", r.TimeStep, r.Octant, r.Partitioner)
 	}
 	return nil
 }
@@ -240,19 +316,22 @@ func printTable4(small bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %-12s %-18s %s\n", "Partitioner", "Run-time", "Max. Load", "AMR")
-	fmt.Printf("%-12s %-12s %-18s %s\n", "", "(sec)", "Imbalance (%)", "Efficiency (%)")
+	fmt.Fprintf(out, "%-12s %-12s %-18s %s\n", "Partitioner", "Run-time", "Max. Load", "AMR")
+	fmt.Fprintf(out, "%-12s %-12s %-18s %s\n", "", "(sec)", "Imbalance (%)", "Efficiency (%)")
 	var slowest float64
 	for _, r := range rows {
-		fmt.Printf("%-12s %-12.3f %-18.4f %.4f\n", r.Partitioner, r.Runtime, r.MaxImbalance, r.AMREfficiency)
+		fmt.Fprintf(out, "%-12s %-12.3f %-18.4f %.4f\n", r.Partitioner, r.Runtime, r.MaxImbalance, r.AMREfficiency)
+		metric(r.Partitioner+"_runtime_s", r.Runtime)
+		metric(r.Partitioner+"_max_imbalance_pct", r.MaxImbalance)
 		if r.Runtime > slowest {
 			slowest = r.Runtime
 		}
 	}
 	for _, r := range rows {
 		if r.Partitioner == "adaptive" {
-			fmt.Printf("\nadaptive improvement over the slowest partitioner: %.1f%%\n",
-				100*(slowest-r.Runtime)/slowest)
+			improvement := 100 * (slowest - r.Runtime) / slowest
+			fmt.Fprintf(out, "\nadaptive improvement over the slowest partitioner: %.1f%%\n", improvement)
+			metric("adaptive_improvement_pct", improvement)
 		}
 	}
 	return nil
@@ -267,10 +346,11 @@ func printTable5(small bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-22s %s\n", "Number of Processors", "Percentage Improvement")
+	fmt.Fprintf(out, "%-22s %s\n", "Number of Processors", "Percentage Improvement")
 	for _, r := range rows {
-		fmt.Printf("%-22d %.1f%%   (default %.1fs -> system-sensitive %.1fs)\n",
+		fmt.Fprintf(out, "%-22d %.1f%%   (default %.1fs -> system-sensitive %.1fs)\n",
 			r.Procs, r.Improvement, r.DefaultTime, r.SystemSensitiveTime)
+		metric(fmt.Sprintf("improvement_pct_procs_%d", r.Procs), r.Improvement)
 	}
 	return nil
 }
@@ -280,7 +360,7 @@ func printFigure2() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-10s %-14s %-12s %s\n", "Octant", "Dynamics", "Dominance", "Pattern", "Visits")
+	fmt.Fprintf(out, "%-8s %-10s %-14s %-12s %s\n", "Octant", "Dynamics", "Dominance", "Pattern", "Visits")
 	for _, r := range rows {
 		dyn, dom, pat := "lower", "computation", "localized"
 		if r.HigherDynamics {
@@ -292,7 +372,7 @@ func printFigure2() error {
 		if r.Scattered {
 			pat = "scattered"
 		}
-		fmt.Printf("%-8s %-10s %-14s %-12s %d\n", r.Octant, dyn, dom, pat, r.Visits)
+		fmt.Fprintf(out, "%-8s %-10s %-14s %-12s %d\n", r.Octant, dyn, dom, pat, r.Visits)
 	}
 	return nil
 }
@@ -303,7 +383,7 @@ func printFigure3() error {
 		return err
 	}
 	for _, p := range profiles {
-		fmt.Println(p)
+		fmt.Fprintln(out, p)
 	}
 	return nil
 }
@@ -313,9 +393,9 @@ func printFigure4() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-6s %-14s %-18s %s\n", "Node", "CPU available", "Relative capacity", "Assigned work share")
+	fmt.Fprintf(out, "%-6s %-14s %-18s %s\n", "Node", "CPU available", "Relative capacity", "Assigned work share")
 	for i := range res.Capacities {
-		fmt.Printf("%-6d %-14.3f %-18.3f %.3f\n", i, res.CPUAvailable[i], res.Capacities[i], res.WorkShares[i])
+		fmt.Fprintf(out, "%-6d %-14.3f %-18.3f %.3f\n", i, res.CPUAvailable[i], res.Capacities[i], res.WorkShares[i])
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package core
 
-import "github.com/pragma-grid/pragma/internal/telemetry"
+import (
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/telemetry"
+)
 
 // Runtime-management instrumentation. Regrids are infrequent relative to
 // BSP steps, so labeled-child resolution at regrid time is acceptable;
@@ -52,3 +55,14 @@ var (
 		"pragma_core_pac_overhead_ratio",
 		"Partitioning-overhead proxy: assignment units per hierarchy box.")
 )
+
+// setPACGauges publishes a regrid's quality metric. Called again from the
+// mid-interval recovery path so the gauges always describe the assignment
+// actually running.
+func setPACGauges(q partition.Quality) {
+	metricPACImbalance.Set(q.Imbalance)
+	metricPACCommVolume.Set(q.CommVolume)
+	metricPACCommMessages.Set(q.CommMessages)
+	metricPACMigration.Set(q.Migration)
+	metricPACOverhead.Set(q.Overhead)
+}

@@ -134,6 +134,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 	var simTime float64
 	var prevA *partition.Assignment
 	var prevH *samr.Hierarchy
+	var prevPlan *partition.CommPlan
 	var prevLabel string
 	var imbSum, effSum float64
 	startIdx := 0
@@ -163,6 +164,11 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			// The hierarchy the outgoing assignment partitioned is the
 			// trace's own snapshot — recomputed, never serialized.
 			prevH = tr.Snapshots[startIdx-1].H
+			if prevA != nil && prevH != nil {
+				// Rebuild only the rasters: the first post-resume regrid
+				// needs them for its migration diff, nothing more.
+				prevPlan = partition.BuildRasterPlan(prevH, prevA)
+			}
 		}
 	}
 
@@ -198,7 +204,10 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		prevLabel = label
 
 		cycle.StartSpan("pac")
-		comm := partition.Communication(snap.H, a)
+		// One communication plan per regrid: its rasters and stats feed the
+		// PAC metric, the migration diff, and every BSP step of the interval.
+		plan := partition.BuildCommPlan(snap.H, a)
+		comm := plan.Stats
 		units := float64(len(a.Units))
 		splitCost := a.SplitCost
 		if splitCost < 1 {
@@ -215,8 +224,8 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			telemetry.String("comm_volume", strconv.FormatFloat(q.CommVolume, 'g', 4, 64)))
 		cycle.StartSpan("migration")
 		var migTime float64
-		if prevA != nil && prevH != nil {
-			q.Migration = partition.MigrationFraction(prevH, prevA, snap.H, a)
+		if prevPlan != nil {
+			q.Migration = plan.MigrationFrom(prevPlan)
 			migTime = cfg.Machine.MigrationTime(q.Migration*float64(snap.H.TotalCells()), cost)
 		}
 		cycle.EndSpan(telemetry.String("fraction", strconv.FormatFloat(q.Migration, 'g', 4, 64)))
@@ -227,11 +236,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		if boxes > 0 {
 			q.Overhead = units / float64(boxes)
 		}
-		metricPACImbalance.Set(q.Imbalance)
-		metricPACCommVolume.Set(q.CommVolume)
-		metricPACCommMessages.Set(q.CommMessages)
-		metricPACMigration.Set(q.Migration)
-		metricPACOverhead.Set(q.Overhead)
+		setPACGauges(q)
 
 		res.PartitionTime += partTime
 		res.MigrationTime += migTime
@@ -258,8 +263,26 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 					res.MigrationTime += recMig
 					a = a2
 					stat.Partitioner = label2
-					comm = partition.Communication(snap.H, a)
+					// Re-plan for the replacement assignment and refresh
+					// everything derived from the dead one: the recorded
+					// quality, the published gauges, and the interval's
+					// overhead — they must describe the assignment that
+					// actually finishes the interval.
+					deadPlan := plan
+					plan = partition.BuildCommPlan(snap.H, a)
+					comm = plan.Stats
 					work = a.Work()
+					units = float64(len(a.Units))
+					q.CommVolume = comm.Volume
+					q.CommMessages = comm.Messages
+					q.Imbalance = a.Imbalance()
+					q.Migration = plan.MigrationFrom(deadPlan)
+					if boxes > 0 {
+						q.Overhead = units / float64(boxes)
+					}
+					setPACGauges(q)
+					stat.Quality = q
+					stat.Overhead += recMig
 					res.Recoveries++
 					metricRecoveries.Inc()
 					cycle.Event("recovery", telemetry.String("partitioner", label2))
@@ -282,7 +305,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			res.MaxImbalance = q.Imbalance
 		}
 		effSum += snap.H.AMREfficiency()
-		prevA, prevH = a, snap.H
+		prevA, prevH, prevPlan = a, snap.H, plan
 
 		if store != nil && (idx+1)%ckptEvery == 0 && idx+1 < len(tr.Snapshots) {
 			degraded := degradedBase

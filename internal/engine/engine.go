@@ -261,6 +261,15 @@ func (e *Engine) coordName() string { return "engine-coordinator" + e.opts.suffi
 // every wait, WithPortSuffix namespaces the mailboxes (recovery engines),
 // WithWorkerFault injects deterministic faults for crash rehearsal.
 func New(h *samr.Hierarchy, a *partition.Assignment, coordOn agents.Port, ports []agents.Port, opts ...Option) (*Engine, error) {
+	return NewFromPlan(partition.BuildCommPlan(h, a), coordOn, ports, opts...)
+}
+
+// NewFromPlan wires an engine from an already-built communication plan,
+// reusing its unit-pair adjacency instead of re-sweeping the hierarchy.
+// Callers that evaluated the assignment's PAC quality already hold the
+// plan; handing it over makes engine construction rasterization-free.
+func NewFromPlan(plan *partition.CommPlan, coordOn agents.Port, ports []agents.Port, opts ...Option) (*Engine, error) {
+	h, a := plan.H, plan.A
 	if len(ports) != a.NProcs {
 		return nil, fmt.Errorf("engine: %d ports for %d processors", len(ports), a.NProcs)
 	}
@@ -276,7 +285,7 @@ func New(h *samr.Hierarchy, a *partition.Assignment, coordOn agents.Port, ports 
 		return nil, err
 	}
 	e.coord = coordIn
-	pairs := partition.Adjacency(h, a)
+	pairs := plan.Pairs
 	expect := make([]int, a.NProcs)
 	sends := make([][]send, a.NProcs)
 	for i, pr := range pairs {

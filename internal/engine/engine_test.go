@@ -195,3 +195,52 @@ func TestEngineStressManyWorkers(t *testing.T) {
 		t.Fatalf("delivered %d, want %d", got, want)
 	}
 }
+
+// TestNewFromPlanReusesAdjacency builds an engine from a pre-built
+// communication plan and checks two things: construction adds zero
+// rasterizations (the plan's cached sweep is reused, not redone), and the
+// resulting engine behaves identically to one built by New.
+func TestNewFromPlanReusesAdjacency(t *testing.T) {
+	h, a := testSetup(t, 4)
+	plan := partition.BuildCommPlan(h, a)
+	center := agents.NewCenter()
+	before := partition.Rasterizations()
+	e, err := NewFromPlan(plan, center, samePorts(center, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := partition.Rasterizations() - before; got != 0 {
+		t.Fatalf("NewFromPlan rasterized %d times, want 0", got)
+	}
+	const steps = 3
+	rep, err := e.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(plan.Pairs) * steps; rep.TotalMessages() != want {
+		t.Fatalf("delivered %d messages, want %d", rep.TotalMessages(), want)
+	}
+
+	center2 := agents.NewCenter()
+	e2, err := New(h, a, center2, samePorts(center2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := e2.Run(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := func(r Report) map[int]uint64 {
+		out := map[int]uint64{}
+		for _, w := range r.Workers {
+			out[w.Proc] = w.Checksum
+		}
+		return out
+	}
+	s1, s2 := sums(rep), sums(rep2)
+	for p, c := range s1 {
+		if s2[p] != c {
+			t.Fatalf("worker %d checksum differs between NewFromPlan and New: %x vs %x", p, c, s2[p])
+		}
+	}
+}

@@ -60,7 +60,7 @@ func AblationCurves(cfg rm3d.Config, nprocs int, sampleEvery int) ([]CurveAblati
 			if err != nil {
 				return nil, err
 			}
-			st := partition.Communication(snap.H, a)
+			st := partition.BuildCommPlan(snap.H, a).Stats
 			row.CommVolume += st.Volume
 			row.CommMessages += st.Messages
 			row.Imbalance += a.Imbalance()

@@ -1,0 +1,471 @@
+package partition
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// CommPlan is everything the runtime derives from rasterizing one
+// assignment: the communication statistics, the cross-processor unit-pair
+// adjacencies a distributed executor must realize, and the per-level unit
+// rasters themselves (reused by MigrationFrom at the next regrid instead
+// of re-rasterizing the outgoing assignment). Build it once per regrid and
+// thread it through every layer that needs any of the three.
+//
+// The plan is immutable after construction and safe for concurrent reads.
+type CommPlan struct {
+	// H and A are the hierarchy and assignment the plan was built for.
+	H *samr.Hierarchy
+	A *Assignment
+	// Stats is the assignment's communication requirement. Only populated
+	// by BuildCommPlan; BuildRasterPlan leaves it zero.
+	Stats CommStats
+	// Pairs lists every cross-processor unit-pair adjacency in canonical
+	// order (levels ascending, then sweep order z, y, x; +x/+y/+z faces
+	// before the coarse-parent relation at each cell). Only populated by
+	// BuildCommPlan.
+	Pairs []UnitPair
+
+	rasters map[int]*levelRaster
+}
+
+// parallelCellThreshold is the swept-cell count below which the kernels
+// stay on the calling goroutine: tiny rasters are not worth the fan-out.
+// Results are bit-identical either way.
+const parallelCellThreshold = 1 << 15
+
+// BuildCommPlan rasterizes the assignment once and runs the fused
+// single-pass communication kernel over it: one strided sweep per level
+// computes the intra-level ghost faces and the inter-level parent
+// transfers together, parallelized across z-slabs. The result is
+// bit-identical to ReferenceCommunication at any GOMAXPROCS: every
+// contribution is a multiple of a quarter face accumulated in integers,
+// so no floating-point rounding depends on the slab decomposition.
+func BuildCommPlan(h *samr.Hierarchy, a *Assignment) *CommPlan {
+	start := time.Now()
+	p := &CommPlan{H: h, A: a, rasters: unitRasters(a)}
+	p.Stats, p.Pairs = sweepComm(h, a, p.rasters)
+	metricPACSeconds.Observe(time.Since(start).Seconds())
+	return p
+}
+
+// BuildRasterPlan rasterizes the assignment without running the
+// communication sweep: Stats and Pairs are left empty. Use it when a plan
+// is needed only as an operand of MigrationFrom (e.g. the previous
+// assignment of a freshly resumed run, whose communication was already
+// accounted in an earlier cycle).
+func BuildRasterPlan(h *samr.Hierarchy, a *Assignment) *CommPlan {
+	return &CommPlan{H: h, A: a, rasters: unitRasters(a)}
+}
+
+// MigrationFrom returns the fraction of grid data present in both plans'
+// configurations whose owning processor changed — the paper's "amount of
+// data migration" component, with prev as the outgoing configuration. The
+// sweep reuses both plans' cached rasters; nothing is re-rasterized.
+// Bit-identical to ReferenceMigrationFraction at any GOMAXPROCS.
+func (p *CommPlan) MigrationFrom(prev *CommPlan) float64 {
+	if p == nil || prev == nil {
+		return 0
+	}
+	newOwners := ownersOf(p.A)
+	prevOwners := ownersOf(prev.A)
+
+	levels := make([]int, 0, len(p.rasters))
+	for l := range p.rasters {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	var tasks []*migTask
+	var cells int64
+	for _, l := range levels {
+		nr := p.rasters[l]
+		pr, ok := prev.rasters[l]
+		if !ok {
+			continue
+		}
+		common, ok := nr.box.Intersect(pr.box)
+		if !ok {
+			continue
+		}
+		cells += common.Volume()
+		for _, zr := range slabRanges(common.Lo[2], common.Hi[2], workersFor(common.Volume())) {
+			tasks = append(tasks, &migTask{
+				pr: pr, nr: nr, common: common,
+				prevOwners: prevOwners, newOwners: newOwners,
+				zLo: zr[0], zHi: zr[1],
+			})
+		}
+	}
+	forEachTask(len(tasks), workersFor(cells), func(i, _ int) { tasks[i].run() })
+	var both, moved int64
+	for _, t := range tasks {
+		both += t.both
+		moved += t.moved
+	}
+	if both == 0 {
+		return 0
+	}
+	return float64(moved) / float64(both)
+}
+
+// ownersOf widens the assignment's owner slice for raster-side lookups.
+func ownersOf(a *Assignment) []int32 {
+	owners := make([]int32, len(a.Owner))
+	for i, o := range a.Owner {
+		owners[i] = int32(o)
+	}
+	return owners
+}
+
+// workersFor picks the worker count for a sweep over the given cell
+// count: GOMAXPROCS-wide unless the sweep is too small to fan out.
+func workersFor(cells int64) int {
+	w := runtime.GOMAXPROCS(0)
+	if w <= 1 || cells < parallelCellThreshold {
+		return 1
+	}
+	return w
+}
+
+// slabRanges cuts [lo, hi) into roughly 2*workers contiguous z-slabs —
+// enough granularity for load balance without drowning small levels in
+// tasks. With workers == 1 the whole range is one slab.
+func slabRanges(lo, hi, workers int) [][2]int {
+	nz := hi - lo
+	if nz <= 0 {
+		return nil
+	}
+	slabs := 2 * workers
+	if slabs > nz {
+		slabs = nz
+	}
+	if slabs < 1 {
+		slabs = 1
+	}
+	chunk := (nz + slabs - 1) / slabs
+	var out [][2]int
+	for z := lo; z < hi; z += chunk {
+		end := z + chunk
+		if end > hi {
+			end = hi
+		}
+		out = append(out, [2]int{z, end})
+	}
+	return out
+}
+
+// forEachTask runs fn(i, worker) for every task index, fanning out over
+// the given number of workers. Task results must be written into
+// per-task storage; completion order is irrelevant to callers because
+// merging happens afterwards in task order.
+func forEachTask(n, workers int, fn func(i, worker int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, worker)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// pairAcc accumulates one cross-processor unit pair inside a task, in
+// quarter-face units. Entries with the same lo unit are chained through
+// next, forming the per-unit adjacency accumulator that replaces the old
+// map[uint64]int dedup.
+type pairAcc struct {
+	lo, hi   int32
+	quarters int64
+	next     int32
+}
+
+// commTask is one z-slab of one level's fused sweep. Intra-level faces
+// count 4 quarters, inter-level parent cells 1 quarter (interLevelWeight);
+// the level frequency is applied at merge time, so every per-task
+// accumulator is an exact integer.
+type commTask struct {
+	r     *levelRaster // this level's unit raster
+	cr    *levelRaster // parent level's raster, nil for the coarsest
+	ratio int
+	freq  float64
+	zLo   int
+	zHi   int
+
+	pairs        []pairAcc
+	procQuarters []int64
+	volQuarters  int64
+}
+
+// run sweeps the task's slab. head is the caller-owned per-unit chain
+// head array (len = units, filled with -1); it is restored to -1 for
+// every touched entry before returning so workers can reuse it across
+// tasks.
+func (t *commTask) run(owners []int32, nprocs int, head []int32) {
+	t.procQuarters = make([]int64, nprocs)
+	r, cr := t.r, t.cr
+	b := r.box
+	n := b.Dx(0)
+	lastLo, lastHi := int32(-1), int32(-1)
+	lastIdx := 0
+	add := func(u1, u2 int32, q int64) {
+		o1, o2 := owners[u1], owners[u2]
+		if o1 == o2 {
+			return
+		}
+		t.volQuarters += q
+		t.procQuarters[o1] += q
+		t.procQuarters[o2] += q
+		lo, hi := u1, u2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == lastLo && hi == lastHi {
+			t.pairs[lastIdx].quarters += q
+			return
+		}
+		idx := head[lo]
+		for idx >= 0 && t.pairs[idx].hi != hi {
+			idx = t.pairs[idx].next
+		}
+		if idx < 0 {
+			t.pairs = append(t.pairs, pairAcc{lo: lo, hi: hi, next: head[lo]})
+			idx = int32(len(t.pairs) - 1)
+			head[lo] = idx
+		}
+		t.pairs[idx].quarters += q
+		lastLo, lastHi, lastIdx = lo, hi, int(idx)
+	}
+	for z := t.zLo; z < t.zHi; z++ {
+		hasZ := z+1 < b.Hi[2]
+		czOff, czOK := 0, false
+		if cr != nil {
+			cz := z / t.ratio
+			if cz >= cr.box.Lo[2] && cz < cr.box.Hi[2] {
+				czOK = true
+				czOff = (cz - cr.box.Lo[2]) * cr.nxy
+			}
+		}
+		for y := b.Lo[1]; y < b.Hi[1]; y++ {
+			s := (z-b.Lo[2])*r.nxy + (y-b.Lo[1])*r.nx
+			row := r.owner[s : s+n]
+			var rowY, rowZ []int32
+			if y+1 < b.Hi[1] {
+				rowY = r.owner[s+r.nx : s+r.nx+n]
+			}
+			if hasZ {
+				rowZ = r.owner[s+r.nxy : s+r.nxy+n]
+			}
+			var crow []int32
+			cxLo, cxHi := 0, 0
+			if czOK {
+				cy := y / t.ratio
+				if cy >= cr.box.Lo[1] && cy < cr.box.Hi[1] {
+					cs := czOff + (cy-cr.box.Lo[1])*cr.nx
+					crow = cr.owner[cs : cs+cr.nx]
+					cxLo, cxHi = cr.box.Lo[0], cr.box.Hi[0]
+				}
+			}
+			for i := 0; i < n; i++ {
+				u := row[i]
+				if u < 0 {
+					continue
+				}
+				if i+1 < n {
+					if nu := row[i+1]; nu >= 0 && nu != u {
+						add(u, nu, 4)
+					}
+				}
+				if rowY != nil {
+					if nu := rowY[i]; nu >= 0 && nu != u {
+						add(u, nu, 4)
+					}
+				}
+				if rowZ != nil {
+					if nu := rowZ[i]; nu >= 0 && nu != u {
+						add(u, nu, 4)
+					}
+				}
+				if crow != nil {
+					cx := (b.Lo[0] + i) / t.ratio
+					if cx >= cxLo && cx < cxHi {
+						if cu := crow[cx-cxLo]; cu >= 0 && cu != u {
+							add(u, cu, 1)
+						}
+					}
+				}
+			}
+		}
+	}
+	for i := range t.pairs {
+		head[t.pairs[i].lo] = -1
+	}
+}
+
+// sweepComm runs the fused kernel over every level and merges the
+// per-slab accumulators deterministically: tasks are merged in (level,
+// z-slab) order, which is exactly the canonical sweep order, so pair
+// enumeration and every statistic match the sequential reference bit for
+// bit regardless of how many workers ran the slabs.
+func sweepComm(h *samr.Hierarchy, a *Assignment, rs map[int]*levelRaster) (CommStats, []UnitPair) {
+	st := CommStats{
+		PerProcVolume:   make([]float64, a.NProcs),
+		PerProcMessages: make([]float64, a.NProcs),
+	}
+	if len(a.Units) == 0 || len(rs) == 0 {
+		return st, nil
+	}
+	owners := ownersOf(a)
+	levels := make([]int, 0, len(rs))
+	var cells int64
+	for l, r := range rs {
+		levels = append(levels, l)
+		cells += r.box.Volume()
+	}
+	sort.Ints(levels)
+	workers := workersFor(cells)
+
+	var tasks []*commTask
+	for _, l := range levels {
+		r := rs[l]
+		var cr *levelRaster
+		if l > 0 {
+			cr = rs[l-1]
+		}
+		freq := 1.0
+		for i := 0; i < l; i++ {
+			freq *= float64(h.Ratio)
+		}
+		for _, zr := range slabRanges(r.box.Lo[2], r.box.Hi[2], workers) {
+			tasks = append(tasks, &commTask{
+				r: r, cr: cr, ratio: h.Ratio, freq: freq,
+				zLo: zr[0], zHi: zr[1],
+			})
+		}
+	}
+
+	heads := make([][]int32, workers)
+	forEachTask(len(tasks), workers, func(i, worker int) {
+		if heads[worker] == nil {
+			heads[worker] = newHead(len(a.Units))
+		}
+		tasks[i].run(owners, a.NProcs, heads[worker])
+	})
+
+	// Deterministic merge. All sums below are exact: quarters and freq are
+	// integers (freq = Ratio^level), so 0.25*quarters*freq has at most two
+	// fractional bits and the float64 additions never round at any
+	// realistic hierarchy size.
+	type merged struct {
+		lo, hi   int32
+		quarters int64
+		freq     float64
+	}
+	var pairs []merged
+	head := newHead(len(a.Units))
+	next := make([]int32, 0, 64)
+	for _, t := range tasks {
+		if t.volQuarters != 0 {
+			st.Volume += 0.25 * float64(t.volQuarters) * t.freq
+		}
+		for p, q := range t.procQuarters {
+			if q != 0 {
+				st.PerProcVolume[p] += 0.25 * float64(q) * t.freq
+			}
+		}
+		for _, pa := range t.pairs {
+			idx := head[pa.lo]
+			for idx >= 0 && pairs[idx].hi != pa.hi {
+				idx = next[idx]
+			}
+			if idx < 0 {
+				pairs = append(pairs, merged{lo: pa.lo, hi: pa.hi, freq: t.freq})
+				next = append(next, head[pa.lo])
+				idx = int32(len(pairs) - 1)
+				head[pa.lo] = idx
+				o1, o2 := owners[pa.lo], owners[pa.hi]
+				st.Messages += t.freq
+				st.PerProcMessages[o1] += t.freq
+				st.PerProcMessages[o2] += t.freq
+			}
+			pairs[idx].quarters += pa.quarters
+		}
+	}
+	if len(pairs) == 0 {
+		return st, nil
+	}
+	out := make([]UnitPair, len(pairs))
+	for i, m := range pairs {
+		out[i] = UnitPair{
+			U1:        int(m.lo),
+			U2:        int(m.hi),
+			Faces:     0.25 * float64(m.quarters),
+			Frequency: m.freq,
+		}
+	}
+	return st, out
+}
+
+func newHead(n int) []int32 {
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return head
+}
+
+// migTask counts migrated cells over one z-slab of one level's
+// prev ∩ new raster intersection.
+type migTask struct {
+	pr, nr                *levelRaster
+	common                samr.Box
+	prevOwners, newOwners []int32
+	zLo, zHi              int
+	both, moved           int64
+}
+
+func (t *migTask) run() {
+	c := t.common
+	w := c.Dx(0)
+	var both, moved int64
+	for z := t.zLo; z < t.zHi; z++ {
+		for y := c.Lo[1]; y < c.Hi[1]; y++ {
+			pS := (z-t.pr.box.Lo[2])*t.pr.nxy + (y-t.pr.box.Lo[1])*t.pr.nx + (c.Lo[0] - t.pr.box.Lo[0])
+			nS := (z-t.nr.box.Lo[2])*t.nr.nxy + (y-t.nr.box.Lo[1])*t.nr.nx + (c.Lo[0] - t.nr.box.Lo[0])
+			prow := t.pr.owner[pS : pS+w]
+			nrow := t.nr.owner[nS : nS+w]
+			for i := 0; i < w; i++ {
+				pu, nu := prow[i], nrow[i]
+				if pu < 0 || nu < 0 {
+					continue
+				}
+				both++
+				if t.prevOwners[pu] != t.newOwners[nu] {
+					moved++
+				}
+			}
+		}
+	}
+	t.both, t.moved = both, moved
+}

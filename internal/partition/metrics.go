@@ -1,0 +1,12 @@
+package partition
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// metricPACSeconds times the PAC evaluation kernel — one BuildCommPlan:
+// rasterization plus the fused communication sweep. This is the
+// "partitioning-induced overhead" the runtime itself pays at every regrid
+// for every candidate it evaluates, so it must stay cheap.
+var metricPACSeconds = telemetry.Default.Histogram(
+	"pragma_partition_pac_seconds",
+	"Wall-clock duration of one PAC communication-plan build (rasterization + fused sweep).",
+	nil)

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"sort"
 	"time"
 
 	"github.com/pragma-grid/pragma/internal/samr"
@@ -43,107 +42,39 @@ const interLevelWeight = 0.25
 
 // EvalQuality computes the full PAC metric for an assignment. prev and
 // prevH may be nil when there is no previous partitioning (migration is 0).
+// Callers evaluating several candidates, or holding the previous cycle's
+// plan, should use BuildCommPlan + EvalQualityPlan directly to avoid
+// re-rasterizing.
 func EvalQuality(h *samr.Hierarchy, a *Assignment, prevH *samr.Hierarchy, prev *Assignment, elapsed time.Duration) Quality {
-	comm := Communication(h, a)
+	plan := BuildCommPlan(h, a)
+	var prevPlan *CommPlan
+	if prev != nil && prevH != nil {
+		prevPlan = BuildRasterPlan(prevH, prev)
+	}
+	return EvalQualityPlan(plan, prevPlan, elapsed)
+}
+
+// EvalQualityPlan assembles the PAC metric from an already-built plan,
+// measuring migration against the previous cycle's plan (nil for none).
+// No rasterization or sweeping happens here beyond the migration diff.
+func EvalQualityPlan(plan *CommPlan, prevPlan *CommPlan, elapsed time.Duration) Quality {
 	q := Quality{
-		CommVolume:    comm.Volume,
-		CommMessages:  comm.Messages,
-		Imbalance:     a.Imbalance(),
+		CommVolume:    plan.Stats.Volume,
+		CommMessages:  plan.Stats.Messages,
+		Imbalance:     plan.A.Imbalance(),
 		PartitionTime: elapsed,
 	}
-	if prev != nil && prevH != nil {
-		q.Migration = MigrationFraction(prevH, prev, h, a)
+	if prevPlan != nil {
+		q.Migration = plan.MigrationFrom(prevPlan)
 	}
 	boxes := 0
-	for _, lb := range h.Levels {
+	for _, lb := range plan.H.Levels {
 		boxes += len(lb)
 	}
 	if boxes > 0 {
-		q.Overhead = float64(len(a.Units)) / float64(boxes)
+		q.Overhead = float64(len(plan.A.Units)) / float64(boxes)
 	}
 	return q
-}
-
-// levelRaster is a dense owner map over the bounding box of one level's
-// units; cells outside every unit hold -1.
-type levelRaster struct {
-	box   samr.Box
-	nx    int
-	nxy   int
-	owner []int32
-}
-
-func newLevelRaster(boxes []samr.Box, values []int32) *levelRaster {
-	var bb samr.Box
-	for _, b := range boxes {
-		bb = bb.Bound(b)
-	}
-	if bb.Empty() {
-		return nil
-	}
-	r := &levelRaster{
-		box:   bb,
-		nx:    bb.Dx(0),
-		nxy:   bb.Dx(0) * bb.Dx(1),
-		owner: make([]int32, bb.Volume()),
-	}
-	for i := range r.owner {
-		r.owner[i] = -1
-	}
-	for i, b := range boxes {
-		r.paint(b, values[i])
-	}
-	return r
-}
-
-func (r *levelRaster) paint(b samr.Box, owner int32) {
-	for z := b.Lo[2]; z < b.Hi[2]; z++ {
-		for y := b.Lo[1]; y < b.Hi[1]; y++ {
-			base := (z-r.box.Lo[2])*r.nxy + (y-r.box.Lo[1])*r.nx - r.box.Lo[0]
-			for x := b.Lo[0]; x < b.Hi[0]; x++ {
-				r.owner[base+x] = owner
-			}
-		}
-	}
-}
-
-// at returns the owner of the cell at p, or -1 when p is outside the
-// raster or unowned.
-func (r *levelRaster) at(p samr.Point) int32 {
-	if !r.box.Contains(p) {
-		return -1
-	}
-	return r.owner[(p[2]-r.box.Lo[2])*r.nxy+(p[1]-r.box.Lo[1])*r.nx+(p[0]-r.box.Lo[0])]
-}
-
-// rasters builds one owner raster per level of the assignment.
-func rasters(a *Assignment) map[int]*levelRaster {
-	return buildRasters(a, func(i int) int32 { return int32(a.Owner[i]) })
-}
-
-// unitRasters builds one unit-index raster per level of the assignment.
-func unitRasters(a *Assignment) map[int]*levelRaster {
-	return buildRasters(a, func(i int) int32 { return int32(i) })
-}
-
-func buildRasters(a *Assignment, value func(i int) int32) map[int]*levelRaster {
-	perLevel := map[int][]int{}
-	for i, u := range a.Units {
-		perLevel[u.Level] = append(perLevel[u.Level], i)
-	}
-	out := map[int]*levelRaster{}
-	for l, ids := range perLevel {
-		boxes := make([]samr.Box, len(ids))
-		values := make([]int32, len(ids))
-		for k, i := range ids {
-			boxes[k] = a.Units[i].Box
-			values[k] = value(i)
-		}
-		if r := newLevelRaster(boxes, values); r != nil {
-			out[l] = r
-		}
-	}
-	return out
 }
 
 // CommStats aggregates an assignment's communication requirement.
@@ -179,113 +110,17 @@ type UnitPair struct {
 }
 
 // Adjacency returns every cross-processor unit pair of the assignment —
-// the message pattern a distributed executor must realize.
+// the message pattern a distributed executor must realize. Callers that
+// also need CommStats should call BuildCommPlan once instead.
 func Adjacency(h *samr.Hierarchy, a *Assignment) []UnitPair {
-	_, pairs := communication(h, a)
-	return pairs
+	return BuildCommPlan(h, a).Pairs
 }
 
-// Communication computes the assignment's communication statistics by
-// rasterizing unit ids per level and sweeping cell faces.
+// Communication computes the assignment's communication statistics with
+// the fused single-pass kernel. Callers that also need the unit pairs or
+// a later migration diff should call BuildCommPlan once instead.
 func Communication(h *samr.Hierarchy, a *Assignment) CommStats {
-	st, _ := communication(h, a)
-	return st
-}
-
-func communication(h *samr.Hierarchy, a *Assignment) (CommStats, []UnitPair) {
-	st := CommStats{
-		PerProcVolume:   make([]float64, a.NProcs),
-		PerProcMessages: make([]float64, a.NProcs),
-	}
-	rs := unitRasters(a)
-	pairIdx := map[uint64]int{}
-	var pairList []UnitPair
-	record := func(u1, u2 int32, vol, freq float64) {
-		o1, o2 := a.Owner[u1], a.Owner[u2]
-		if o1 == o2 {
-			return
-		}
-		wvol := vol * freq
-		st.Volume += wvol
-		st.PerProcVolume[o1] += wvol
-		st.PerProcVolume[o2] += wvol
-		lo, hi := u1, u2
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		key := uint64(lo)<<32 | uint64(uint32(hi))
-		i, seen := pairIdx[key]
-		if !seen {
-			pairIdx[key] = len(pairList)
-			pairList = append(pairList, UnitPair{U1: int(lo), U2: int(hi), Frequency: freq})
-			i = len(pairList) - 1
-			st.Messages += freq
-			st.PerProcMessages[o1] += freq
-			st.PerProcMessages[o2] += freq
-		}
-		pairList[i].Faces += vol
-	}
-	// Intra-level ghost faces. A level-l boundary is exchanged on each of
-	// the level's Ratio^l MIT sub-steps per coarse step. Levels are visited
-	// in order so pair enumeration is deterministic.
-	levels := make([]int, 0, len(rs))
-	for l := range rs {
-		levels = append(levels, l)
-	}
-	sort.Ints(levels)
-	for _, l := range levels {
-		r := rs[l]
-		freq := 1.0
-		for i := 0; i < l; i++ {
-			freq *= float64(h.Ratio)
-		}
-		b := r.box
-		for z := b.Lo[2]; z < b.Hi[2]; z++ {
-			for y := b.Lo[1]; y < b.Hi[1]; y++ {
-				for x := b.Lo[0]; x < b.Hi[0]; x++ {
-					u := r.at(samr.Point{x, y, z})
-					if u < 0 {
-						continue
-					}
-					for _, n := range [3]samr.Point{{x + 1, y, z}, {x, y + 1, z}, {x, y, z + 1}} {
-						nu := r.at(n)
-						if nu >= 0 && nu != u {
-							record(u, nu, 1, freq)
-						}
-					}
-				}
-			}
-		}
-	}
-	// Inter-level transfers: fine cell vs parent coarse cell, exchanged on
-	// every fine sub-step.
-	for l := 1; l < h.Depth(); l++ {
-		fine, okF := rs[l]
-		coarse, okC := rs[l-1]
-		if !okF || !okC {
-			continue
-		}
-		freq := 1.0
-		for i := 0; i < l; i++ {
-			freq *= float64(h.Ratio)
-		}
-		b := fine.box
-		for z := b.Lo[2]; z < b.Hi[2]; z++ {
-			for y := b.Lo[1]; y < b.Hi[1]; y++ {
-				for x := b.Lo[0]; x < b.Hi[0]; x++ {
-					fu := fine.at(samr.Point{x, y, z})
-					if fu < 0 {
-						continue
-					}
-					cu := coarse.at(samr.Point{x / h.Ratio, y / h.Ratio, z / h.Ratio})
-					if cu >= 0 && cu != fu {
-						record(fu, cu, interLevelWeight, freq)
-					}
-				}
-			}
-		}
-	}
-	return st, pairList
+	return BuildCommPlan(h, a).Stats
 }
 
 // CommVolume is a convenience wrapper returning the total communication
@@ -299,38 +134,8 @@ func CommVolume(h *samr.Hierarchy, a *Assignment) (total float64, perProc []floa
 // previous and the new configuration whose owning processor changed —
 // the paper's "amount of data migration" component. Levels are compared
 // independently; cells that exist only in one configuration (newly refined
-// or de-refined) do not count.
+// or de-refined) do not count. Callers holding CommPlans for both sides
+// should use CommPlan.MigrationFrom, which reuses the cached rasters.
 func MigrationFraction(prevH *samr.Hierarchy, prev *Assignment, h *samr.Hierarchy, a *Assignment) float64 {
-	prevR := rasters(prev)
-	newR := rasters(a)
-	var both, moved int64
-	for l, nr := range newR {
-		pr, ok := prevR[l]
-		if !ok {
-			continue
-		}
-		common, ok := nr.box.Intersect(pr.box)
-		if !ok {
-			continue
-		}
-		for z := common.Lo[2]; z < common.Hi[2]; z++ {
-			for y := common.Lo[1]; y < common.Hi[1]; y++ {
-				for x := common.Lo[0]; x < common.Hi[0]; x++ {
-					p := samr.Point{x, y, z}
-					po, no := pr.at(p), nr.at(p)
-					if po < 0 || no < 0 {
-						continue
-					}
-					both++
-					if po != no {
-						moved++
-					}
-				}
-			}
-		}
-	}
-	if both == 0 {
-		return 0
-	}
-	return float64(moved) / float64(both)
+	return BuildRasterPlan(h, a).MigrationFrom(BuildRasterPlan(prevH, prev))
 }

@@ -73,6 +73,14 @@ type (
 	Assignment = partition.Assignment
 	// Quality is the five-component PAC metric of a partitioning.
 	Quality = partition.Quality
+	// CommPlan is a cached communication plan: one rasterization of an
+	// assignment shared by quality evaluation, migration diffs, and engine
+	// construction.
+	CommPlan = partition.CommPlan
+	// CommStats aggregates an assignment's communication requirement.
+	CommStats = partition.CommStats
+	// UnitPair is one cross-processor ghost-exchange adjacency.
+	UnitPair = partition.UnitPair
 
 	// Cluster is a simulated execution environment.
 	Cluster = cluster.Cluster
@@ -256,6 +264,15 @@ func EvaluateQuality(h *Hierarchy, a *Assignment, prevH *Hierarchy, prev *Assign
 	return partition.EvalQuality(h, a, prevH, prev, 0)
 }
 
+// BuildCommPlan rasterizes an assignment once and runs the fused
+// single-pass communication sweep, returning the plan that quality
+// evaluation, migration diffs (CommPlan.MigrationFrom), and engine
+// construction (NewEngineFromPlan) all share. Build it once per
+// assignment instead of calling EvaluateQuality and NewEngine separately.
+func BuildCommPlan(h *Hierarchy, a *Assignment) *CommPlan {
+	return partition.BuildCommPlan(h, a)
+}
+
 // Table2Policy returns the paper's Table 2 octant-to-partitioner policy
 // knowledge base.
 func Table2Policy() *PolicyBase { return policy.Table2() }
@@ -381,6 +398,12 @@ func NewTemplateRegistry() *TemplateRegistry { return agents.NewRegistry() }
 // instead of hanging it.
 func NewEngine(h *Hierarchy, a *Assignment, coordOn MessagePort, ports []MessagePort, opts ...EngineOption) (*Engine, error) {
 	return engine.New(h, a, coordOn, ports, opts...)
+}
+
+// NewEngineFromPlan is NewEngine over an already-built communication plan,
+// reusing its adjacency instead of re-sweeping the hierarchy.
+func NewEngineFromPlan(plan *CommPlan, coordOn MessagePort, ports []MessagePort, opts ...EngineOption) (*Engine, error) {
+	return engine.NewFromPlan(plan, coordOn, ports, opts...)
 }
 
 // Engine option constructors, re-exported from internal/engine.
