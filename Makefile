@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet bench bench-telemetry bench-pac experiments ablations extensions fmt cover clean
+.PHONY: build test test-short vet bench bench-telemetry bench-pac bench-sched bench-gate bench-baseline experiments ablations extensions fmt cover clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,21 @@ bench-telemetry:
 # two runs through benchstat to compare.
 bench-pac:
 	$(GO) test -bench='EvalQuality|Adjacency|CommPlan|Migration' -benchmem -run='^$$' ./internal/partition/
+
+# Scheduler benchmarks: admission/fair-queue/worker hand-off overhead.
+bench-sched:
+	$(GO) test -bench='Scheduler|FairQueue' -benchmem -run='^$$' ./internal/sched/
+
+# Gate the current tree against the committed baselines, exactly as CI does
+# (fails on >20% geomean ns/op regression).
+bench-gate:
+	$(GO) test -bench='EvalQuality|Adjacency|CommPlan|Migration' -benchmem -run='^$$' -count=6 ./internal/partition/ | $(GO) run ./cmd/benchgate -baseline BENCH_pac.json
+	$(GO) test -bench='Scheduler|FairQueue' -benchmem -run='^$$' -count=6 ./internal/sched/ | $(GO) run ./cmd/benchgate -baseline BENCH_sched.json
+
+# Refresh the committed baselines from this machine (commit the result).
+bench-baseline:
+	$(GO) test -bench='EvalQuality|Adjacency|CommPlan|Migration' -benchmem -run='^$$' -count=6 ./internal/partition/ | $(GO) run ./cmd/benchgate -baseline BENCH_pac.json -update
+	$(GO) test -bench='Scheduler|FairQueue' -benchmem -run='^$$' -count=6 ./internal/sched/ | $(GO) run ./cmd/benchgate -baseline BENCH_sched.json -update
 
 # Print every table and figure of the paper.
 experiments:

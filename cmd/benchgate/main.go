@@ -1,0 +1,261 @@
+// Command benchgate is the CI benchmark-regression gate. It parses `go
+// test -bench` output, compares per-benchmark median ns/op against a
+// committed JSON baseline, and fails when the geometric mean across
+// benchmarks regresses past the threshold.
+//
+// It deliberately has no dependencies: CI runs it with `go run` on a bare
+// checkout, before any module download could happen. benchstat still
+// produces the human-readable comparison table in CI; benchgate is the
+// deterministic pass/fail decision (benchstat's significance filtering is
+// the wrong shape for a hard gate on -count=6 samples).
+//
+// Usage:
+//
+//	go test -bench ... -count=6 | benchgate -baseline BENCH_x.json -update
+//	go test -bench ... -count=6 | benchgate -baseline BENCH_x.json [-threshold 1.20]
+//	benchgate -baseline BENCH_x.json -emit-gobench > old.txt   # for benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed BENCH_*.json schema.
+type Baseline struct {
+	Schema string `json:"schema"`
+	// Command records how the samples were produced, for reproducibility.
+	Command string `json:"command,omitempty"`
+	// Lines preserves the raw `go test -bench` benchmark lines so
+	// benchstat can re-read the baseline verbatim (-emit-gobench).
+	Lines []string `json:"lines"`
+	// Benchmarks holds the parsed ns/op samples per benchmark name.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's samples across -count repetitions.
+type Benchmark struct {
+	Name    string    `json:"name"`
+	NsPerOp []float64 `json:"nsPerOp"`
+}
+
+// parseBench extracts benchmark result lines and their ns/op values from
+// `go test -bench` output. Sample order is preserved.
+func parseBench(r io.Reader) ([]string, []Benchmark, error) {
+	var lines []string
+	samples := make(map[string][]float64)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a result line
+		}
+		// Result lines are "Name iters v1 unit1 v2 unit2 ...".
+		nsPerOp := math.NaN()
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", line, err)
+				}
+				nsPerOp = v
+			}
+		}
+		if math.IsNaN(nsPerOp) {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so a baseline recorded on an
+		// N-core machine still matches a run on an M-core one.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], nsPerOp)
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	bs := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		bs = append(bs, Benchmark{Name: name, NsPerOp: samples[name]})
+	}
+	return lines, bs, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %v", path, err)
+	}
+	if b.Schema != "pragma-benchgate/v1" {
+		return nil, fmt.Errorf("benchgate: %s has schema %q, want pragma-benchgate/v1", path, b.Schema)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare gates current samples against the baseline: every baseline
+// benchmark must be present, and the geometric mean of the per-benchmark
+// median ratios (new/old) must stay at or below threshold. Returns the
+// report text and whether the gate passes.
+func compare(base *Baseline, cur []Benchmark, threshold float64) (string, bool) {
+	curByName := make(map[string][]float64, len(cur))
+	for _, b := range cur {
+		curByName[b.Name] = b.NsPerOp
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s\n", "benchmark", "old median", "new median", "ratio")
+	ok := true
+	logSum, n := 0.0, 0
+	for _, b := range base.Benchmarks {
+		samples, present := curByName[b.Name]
+		if !present {
+			fmt.Fprintf(&sb, "%-44s %14s %14s %8s  MISSING\n", b.Name, fmtNs(median(b.NsPerOp)), "-", "-")
+			ok = false
+			continue
+		}
+		oldM, newM := median(b.NsPerOp), median(samples)
+		ratio := newM / oldM
+		logSum += math.Log(ratio)
+		n++
+		fmt.Fprintf(&sb, "%-44s %14s %14s %7.3fx\n", b.Name, fmtNs(oldM), fmtNs(newM), ratio)
+	}
+	for _, b := range cur {
+		found := false
+		for _, bb := range base.Benchmarks {
+			if bb.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(&sb, "%-44s %14s %14s %8s  (new, not in baseline)\n", b.Name, "-", fmtNs(median(b.NsPerOp)), "-")
+		}
+	}
+	if n == 0 {
+		sb.WriteString("no overlapping benchmarks\n")
+		return sb.String(), false
+	}
+	geomean := math.Exp(logSum / float64(n))
+	verdict := "PASS"
+	if geomean > threshold {
+		verdict = "FAIL"
+		ok = false
+	}
+	fmt.Fprintf(&sb, "geomean ratio %.3fx over %d benchmarks (threshold %.2fx): %s\n",
+		geomean, n, threshold, verdict)
+	return sb.String(), ok
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.1fns", ns)
+	}
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed baseline JSON (required)")
+		update    = flag.Bool("update", false, "rewrite the baseline from stdin instead of gating")
+		emit      = flag.Bool("emit-gobench", false, "print the baseline's raw benchmark lines (benchstat input)")
+		threshold = flag.Float64("threshold", 1.20, "maximum allowed geomean ratio new/old")
+		command   = flag.String("command", "", "with -update: record the producing command in the baseline")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch {
+	case *emit:
+		b, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, line := range b.Lines {
+			fmt.Println(line)
+		}
+	case *update:
+		lines, bs, err := parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(bs) == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+			os.Exit(2)
+		}
+		b := &Baseline{Schema: "pragma-benchgate/v1", Command: *command, Lines: lines, Benchmarks: bs}
+		if err := writeBaseline(*baseline, b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks, %d samples)\n", *baseline, len(bs), len(lines))
+	default:
+		b, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		_, cur, err := parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		report, ok := compare(b, cur, *threshold)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: example/pkg
+cpu: Some CPU
+BenchmarkFast-8   	 1000000	      1000 ns/op	     120 B/op	       3 allocs/op
+BenchmarkFast-8   	 1000000	      1100 ns/op	     120 B/op	       3 allocs/op
+BenchmarkFast-8   	 1000000	       900 ns/op	     120 B/op	       3 allocs/op
+BenchmarkSlow-8   	    1000	   2000000 ns/op
+BenchmarkSlow-8   	    1000	   2200000 ns/op
+PASS
+ok  	example/pkg	1.234s
+`
+
+func parsed(t *testing.T, text string) ([]string, []Benchmark) {
+	t.Helper()
+	lines, bs, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines, bs
+}
+
+func TestParseBench(t *testing.T) {
+	lines, bs, err := parseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("kept %d lines, want 5", len(lines))
+	}
+	if len(bs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(bs))
+	}
+	if bs[0].Name != "BenchmarkFast" || len(bs[0].NsPerOp) != 3 {
+		t.Fatalf("first benchmark %+v", bs[0])
+	}
+	if m := median(bs[0].NsPerOp); m != 1000 {
+		t.Fatalf("median %v, want 1000", m)
+	}
+	if m := median(bs[1].NsPerOp); m != 2100000 {
+		t.Fatalf("even-sample median %v, want 2100000", m)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	lines, bs := parsed(t, benchText)
+	base := &Baseline{Schema: "pragma-benchgate/v1", Lines: lines, Benchmarks: bs}
+	// 10% slower is inside the 20% gate.
+	cur := []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: []float64{1100, 1100, 1100}},
+		{Name: "BenchmarkSlow", NsPerOp: []float64{2310000, 2310000}},
+	}
+	report, ok := compare(base, cur, 1.20)
+	if !ok {
+		t.Fatalf("10%% regression failed the 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "PASS") {
+		t.Fatalf("report lacks verdict:\n%s", report)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	_, bs := parsed(t, benchText)
+	base := &Baseline{Schema: "pragma-benchgate/v1", Benchmarks: bs}
+	cur := []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: []float64{1500, 1500, 1500}},
+		{Name: "BenchmarkSlow", NsPerOp: []float64{3200000, 3200000}},
+	}
+	report, ok := compare(base, cur, 1.20)
+	if ok {
+		t.Fatalf("~50%% regression passed the 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report lacks verdict:\n%s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	_, bs := parsed(t, benchText)
+	base := &Baseline{Schema: "pragma-benchgate/v1", Benchmarks: bs}
+	cur := []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: []float64{500}},
+		{Name: "BenchmarkSlow", NsPerOp: []float64{1000000}},
+	}
+	if report, ok := compare(base, cur, 1.20); !ok {
+		t.Fatalf("speedup failed the gate:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	_, bs := parsed(t, benchText)
+	base := &Baseline{Schema: "pragma-benchgate/v1", Benchmarks: bs}
+	cur := []Benchmark{{Name: "BenchmarkFast", NsPerOp: []float64{1000}}}
+	report, ok := compare(base, cur, 1.20)
+	if ok {
+		t.Fatal("gate passed with a baseline benchmark missing from the run")
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report does not flag the missing benchmark:\n%s", report)
+	}
+}
+
+func TestCompareOneBadOneGoodBalancesViaGeomean(t *testing.T) {
+	_, bs := parsed(t, benchText)
+	base := &Baseline{Schema: "pragma-benchgate/v1", Benchmarks: bs}
+	// One 40% regression offset by a 2x speedup: geomean ≈ 0.92 → pass.
+	cur := []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: []float64{1400}},
+		{Name: "BenchmarkSlow", NsPerOp: []float64{1050000}},
+	}
+	if report, ok := compare(base, cur, 1.20); !ok {
+		t.Fatalf("geomean gate rejected a net improvement:\n%s", report)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	lines, bs := parsed(t, benchText)
+	path := t.TempDir() + "/base.json"
+	in := &Baseline{Schema: "pragma-benchgate/v1", Command: "go test -bench .", Lines: lines, Benchmarks: bs}
+	if err := writeBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lines) != len(in.Lines) || len(out.Benchmarks) != len(in.Benchmarks) {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if out.Command != in.Command {
+		t.Fatalf("command %q, want %q", out.Command, in.Command)
+	}
+}

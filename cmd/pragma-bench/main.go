@@ -62,10 +62,11 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run the DESIGN.md ablation studies")
 		extensions = flag.Bool("extensions", false, "run the extension experiments (cross-application study, PF runtime prediction)")
 		kernel     = flag.Bool("kernel", false, "benchmark the PAC evaluation kernels (reference vs CommPlan)")
+		schedLoad  = flag.Bool("sched", false, "benchmark the run scheduler (many tiny replays through the shared pool)")
 		jsonOut    = flag.Bool("json", false, "write one JSON object with per-run wall time and key metrics to stdout (tables go to stderr)")
 	)
 	flag.Parse()
-	if !*all && !*ablations && !*extensions && !*kernel && *table == 0 && *figure == 0 {
+	if !*all && !*ablations && !*extensions && !*kernel && !*schedLoad && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -124,6 +125,9 @@ func main() {
 	if *kernel {
 		run("PAC evaluation kernels (sequential reference vs CommPlan)", func() error { return printKernel() })
 	}
+	if *schedLoad {
+		run("Scheduler load (tiny RM3D replays through the shared pool)", func() error { return printSched() })
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -149,6 +153,26 @@ func printKernel() error {
 		metric(r.Kernel+"_plan_s", r.PlanSeconds)
 		metric(r.Kernel+"_speedup", r.Speedup)
 	}
+	return nil
+}
+
+// printSched runs the scheduler load benchmark: 64 tiny replays from 8
+// tenants through a 4-worker pool, reporting throughput and mean per-phase
+// latencies (the -json metrics back the BENCH_sched baseline narrative).
+func printSched() error {
+	res, err := experiments.SchedBench(4, 64, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "workers %d, tenants %d, runs %d\n", res.Workers, res.Tenants, res.Runs)
+	fmt.Fprintf(out, "wall %.2fs   throughput %.1f runs/s   mean queue %.3fs   mean run %.3fs\n",
+		res.WallSeconds, res.RunsPerSecond, res.MeanQueueSeconds, res.MeanRunSeconds)
+	metric("workers", float64(res.Workers))
+	metric("runs", float64(res.Runs))
+	metric("wall_s", res.WallSeconds)
+	metric("runs_per_s", res.RunsPerSecond)
+	metric("mean_queue_s", res.MeanQueueSeconds)
+	metric("mean_run_s", res.MeanRunSeconds)
 	return nil
 }
 

@@ -22,6 +22,18 @@
 //
 //	pragma-node -replay -checkpoint-dir ./ckpt -crash-at 8   # dies mid-run
 //	pragma-node -replay -checkpoint-dir ./ckpt -resume       # picks it up
+//
+// A fourth mode serves the multi-tenant run scheduler: many concurrent
+// replays through a bounded worker pool, with submit/status/drain exposed
+// on the telemetry HTTP server:
+//
+//	pragma-node -serve 127.0.0.1:7070 -sched 4 -telemetry-addr 127.0.0.1:9090 \
+//	    -sched-checkpoint-root ./runs
+//	curl -X POST 'http://127.0.0.1:9090/sched/submit?tenant=acme&name=run1&strategy=adaptive'
+//	curl -X POST  http://127.0.0.1:9090/sched/drain
+//
+// On SIGINT the scheduler drains gracefully: in-flight runs checkpoint at
+// their next regrid boundary and report as resumable.
 package main
 
 import (
@@ -31,14 +43,19 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync"
 	"time"
 
 	"github.com/pragma-grid/pragma"
 	"github.com/pragma-grid/pragma/internal/chaos"
 	"github.com/pragma-grid/pragma/internal/core"
 	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +72,13 @@ func main() {
 		// Observability.
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pragma on this address (all modes)")
 		telemetryHold = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after -replay finishes (for scraping)")
+
+		// Multi-tenant run scheduler (serving mode; requires -telemetry-addr).
+		schedWorkers     = flag.Int("sched", 0, "run the multi-tenant run scheduler with this many pool workers, exposing /sched/ on the telemetry address")
+		schedQueue       = flag.Int("sched-queue", 64, "scheduler: admission queue limit (submissions beyond it are rejected)")
+		schedTenantLimit = flag.Int("sched-tenant-limit", 8, "scheduler: max queued+running runs per tenant (0 = unlimited)")
+		schedCkptRoot    = flag.String("sched-checkpoint-root", "", "scheduler: checkpoint named runs under <root>/<tenant>/<name> so drained runs are resumable")
+		schedDrain       = flag.Duration("sched-drain-timeout", time.Minute, "scheduler: how long shutdown waits for in-flight runs to reach a regrid boundary")
 
 		// Robustness knobs.
 		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "broker: evict clients silent this long (0 disables; with -serve)")
@@ -93,15 +117,50 @@ func main() {
 		defer cancel()
 	}
 
+	var scheduler *pragma.Scheduler
+	if *schedWorkers > 0 {
+		if *telemetryAddr == "" {
+			fail(errors.New("-sched needs -telemetry-addr to serve its endpoints on"))
+		}
+		scheduler = pragma.NewScheduler(pragma.SchedulerConfig{
+			Workers:     *schedWorkers,
+			QueueLimit:  *schedQueue,
+			TenantLimit: *schedTenantLimit,
+		})
+	}
+
 	var tsrv *pragma.TelemetryServer
 	if *telemetryAddr != "" {
+		mux := telemetry.NewHandler(telemetry.Default, telemetry.DefaultTracer, nil)
+		if scheduler != nil {
+			mux.Handle("/sched/", pragma.NewSchedulerHandler(scheduler, schedSpecBuilder(*schedCkptRoot)))
+		}
 		var err error
-		tsrv, err = pragma.ServeTelemetry(*telemetryAddr)
+		tsrv, err = telemetry.ServeHandler(*telemetryAddr, mux)
 		if err != nil {
 			fail(err)
 		}
 		defer tsrv.Close()
 		fmt.Printf("telemetry on http://%s/metrics\n", tsrv.Addr())
+		if scheduler != nil {
+			fmt.Printf("scheduler serving %d workers on http://%s/sched/\n", *schedWorkers, tsrv.Addr())
+		}
+	}
+	if scheduler != nil {
+		// Whatever mode runs in the foreground, shut the scheduler down
+		// gracefully on the way out: stop admitting, checkpoint in-flight
+		// runs at their next regrid boundary, report what is resumable.
+		defer func() {
+			dctx, cancel := context.WithTimeout(context.Background(), *schedDrain)
+			defer cancel()
+			if err := scheduler.Drain(dctx); err != nil {
+				fmt.Fprintf(os.Stderr, "pragma-node: drain: %v\n", err)
+				return
+			}
+			st := scheduler.Stats()
+			fmt.Printf("scheduler drained: %d done, %d drained (resumable), %d cancelled, %d failed\n",
+				st.Done, st.Drained, st.Cancelled, st.Failed)
+		}()
 	}
 
 	switch {
@@ -146,10 +205,113 @@ func main() {
 		if err := runNode(ctx, *join, *id, *load, *wobble, *overload, *interval, dialOpts); err != nil {
 			fail(err)
 		}
+	case scheduler != nil:
+		// Scheduler-only serving: the HTTP endpoints are live; block until
+		// interrupted (the deferred drain then checkpoints in-flight runs)
+		// or until a POST /sched/drain finishes the drain remotely.
+		fmt.Println("scheduler ready; submit runs, interrupt to drain")
+		select {
+		case <-ctx.Done():
+		case <-scheduler.Stopped():
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// schedSpecBuilder maps /sched/submit parameters onto run specs:
+//
+//	trace=small|paper        adaptation trace (generated once, then cached)
+//	strategy=adaptive|...    strategy or partitioner name (default adaptive)
+//	procs=N                  processor count (default 8)
+//	name=NAME                run name; with -sched-checkpoint-root set, the
+//	                         run checkpoints under <root>/<tenant>/<name>
+//	resume=1                 continue from that run's latest checkpoint
+func schedSpecBuilder(ckptRoot string) pragma.SchedulerSpecBuilder {
+	var mu sync.Mutex
+	traces := map[string]*pragma.Trace{}
+	getTrace := func(name string) (*pragma.Trace, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if tr, ok := traces[name]; ok {
+			return tr, nil
+		}
+		var cfg pragma.RM3DConfig
+		switch name {
+		case "", "small":
+			cfg = pragma.RM3DSmall()
+		case "paper":
+			cfg = pragma.RM3DPaper()
+		default:
+			return nil, fmt.Errorf("unknown trace %q (small|paper)", name)
+		}
+		tr, err := pragma.GenerateRM3D(cfg)
+		if err != nil {
+			return nil, err
+		}
+		traces[name] = tr
+		return tr, nil
+	}
+	return func(tenant string, priority int, v url.Values) (pragma.SchedulerRunSpec, error) {
+		tr, err := getTrace(v.Get("trace"))
+		if err != nil {
+			return pragma.SchedulerRunSpec{}, err
+		}
+		stratName := v.Get("strategy")
+		if stratName == "" {
+			stratName = "adaptive"
+		}
+		strat, err := strategyByName(stratName)
+		if err != nil {
+			return pragma.SchedulerRunSpec{}, err
+		}
+		procs := 8
+		if p := v.Get("procs"); p != "" {
+			procs, err = strconv.Atoi(p)
+			if err != nil || procs < 1 {
+				return pragma.SchedulerRunSpec{}, fmt.Errorf("bad procs %q", p)
+			}
+		}
+		spec := pragma.SchedulerRunSpec{
+			Trace:    tr,
+			Strategy: strat,
+			Machine:  pragma.NewCluster(procs),
+			NProcs:   procs,
+		}
+		if name := v.Get("name"); name != "" && ckptRoot != "" {
+			if !safePathComponent(tenant) && tenant != "" {
+				return pragma.SchedulerRunSpec{}, fmt.Errorf("tenant %q not usable as a path component", tenant)
+			}
+			if !safePathComponent(name) {
+				return pragma.SchedulerRunSpec{}, fmt.Errorf("name %q not usable as a path component", name)
+			}
+			dir := tenant
+			if dir == "" {
+				dir = "_default"
+			}
+			spec.CheckpointDir = filepath.Join(ckptRoot, dir, name)
+			spec.Resume = v.Get("resume") == "1" || v.Get("resume") == "true"
+		}
+		return spec, nil
+	}
+}
+
+// safePathComponent accepts names usable as a single directory component:
+// letters, digits, dot, underscore, dash — but not "." or "..".
+func safePathComponent(s string) bool {
+	if s == "" || s == "." || s == ".." {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func runBroker(ctx context.Context, addr string, interval, hbTimeout, wTimeout time.Duration) error {

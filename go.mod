@@ -1,3 +1,3 @@
 module github.com/pragma-grid/pragma
 
-go 1.22
+go 1.24

@@ -35,6 +35,9 @@ var (
 	metricResumes = telemetry.Default.Counter(
 		"pragma_checkpoint_resumes_total",
 		"Replays resumed from a valid checkpoint.")
+	metricInterrupts = telemetry.Default.Counter(
+		"pragma_core_interrupts_total",
+		"Runs stopped at a regrid boundary through RunConfig.Interrupt (graceful drain).")
 
 	// The PAC components of the most recent regrid — the partitioning
 	// quality metric the runtime steers on (imbalance, communication,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -46,6 +47,34 @@ type RunConfig struct {
 	// from the beginning. The final RunResult is identical to an
 	// uninterrupted run's.
 	Resume bool
+	// Interrupt, when non-nil, is polled at every regrid boundary. Once it
+	// is closed the run stops before starting the next interval: with
+	// CheckpointDir configured the loop state is persisted first, so a
+	// later Resume continues exactly where the interrupted run stopped.
+	// Run then fails with an error wrapping ErrInterrupted. This is the
+	// graceful-drain hook the scheduler uses (see internal/sched).
+	Interrupt <-chan struct{}
+}
+
+// ErrInterrupted is the sentinel a Run interrupted through
+// RunConfig.Interrupt fails with (test with errors.Is). The run state as of
+// the last completed regrid interval has been checkpointed when a
+// CheckpointDir was configured, so the run is resumable.
+var ErrInterrupted = errors.New("run interrupted at regrid boundary")
+
+// interrupted reports whether the interrupt channel has fired. Closing the
+// channel is the intended signal; a single sent value also works but only
+// interrupts one of the runs sharing the channel.
+func interrupted(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // SnapshotStat records what happened at one regrid point.
@@ -172,7 +201,39 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		}
 	}
 
+	// saveAt persists the loop state with next as the first interval a
+	// resumed run executes; everything before next is complete and
+	// accounted in res.
+	saveAt := func(next int) error {
+		degraded := degradedBase
+		if dg, ok := strat.(interface{ DegradedCount() int }); ok {
+			degraded += dg.DegradedCount()
+		}
+		return saveRunCheckpoint(store, tr, strat, nprocs, runCheckpoint{
+			NextIndex:      next,
+			SimTime:        simTime,
+			PrevLabel:      prevLabel,
+			ImbSum:         imbSum,
+			EffSum:         effSum,
+			Degraded:       degraded,
+			Result:         res,
+			PrevAssignment: encodeAssignment(prevA),
+		})
+	}
+
 	for idx := startIdx; idx < len(tr.Snapshots); idx++ {
+		if interrupted(cfg.Interrupt) {
+			// A drain landed between intervals. Everything up to idx is
+			// complete; persist it (there is nothing to save before the
+			// first interval) and stop.
+			if store != nil && idx > 0 {
+				if err := saveAt(idx); err != nil {
+					return nil, err
+				}
+			}
+			metricInterrupts.Inc()
+			return nil, fmt.Errorf("core: regrid %d: %w", idx, ErrInterrupted)
+		}
 		snap := tr.Snapshots[idx]
 		regridStart := time.Now()
 		cycle := telemetry.DefaultTracer.Begin("regrid",
@@ -308,20 +369,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 		prevA, prevH, prevPlan = a, snap.H, plan
 
 		if store != nil && (idx+1)%ckptEvery == 0 && idx+1 < len(tr.Snapshots) {
-			degraded := degradedBase
-			if dg, ok := strat.(interface{ DegradedCount() int }); ok {
-				degraded += dg.DegradedCount()
-			}
-			if err := saveRunCheckpoint(store, tr, strat, nprocs, runCheckpoint{
-				NextIndex:      idx + 1,
-				SimTime:        simTime,
-				PrevLabel:      prevLabel,
-				ImbSum:         imbSum,
-				EffSum:         effSum,
-				Degraded:       degraded,
-				Result:         res,
-				PrevAssignment: encodeAssignment(prevA),
-			}); err != nil {
+			if err := saveAt(idx + 1); err != nil {
 				return nil, err
 			}
 		}

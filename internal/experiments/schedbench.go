@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/core"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/rm3d"
+	"github.com/pragma-grid/pragma/internal/sched"
+)
+
+// SchedBenchResult summarizes one scheduler load run: many real (tiny)
+// RM3D replays from several tenants pushed through the shared worker pool.
+type SchedBenchResult struct {
+	Workers int
+	Tenants int
+	Runs    int
+	// WallSeconds is submission of the first run to completion of the last.
+	WallSeconds   float64
+	RunsPerSecond float64
+	// MeanQueueSeconds and MeanRunSeconds average the per-run phases.
+	MeanQueueSeconds float64
+	MeanRunSeconds   float64
+}
+
+// schedBenchTrace is the tiny RM3D configuration the load benchmark
+// replays: small enough that the scheduler, not the replay, dominates
+// variance across CI runs, while still exercising the full core.Run path.
+func schedBenchTrace() (cfg rm3d.Config) {
+	cfg = rm3d.SmallConfig()
+	cfg.BaseDims = [3]int{16, 8, 8}
+	cfg.MaxDepth = 2
+	cfg.CoarseSteps = 60
+	return cfg
+}
+
+// SchedBench pushes runs tiny replays from tenants tenants through a
+// workers-sized pool and reports end-to-end throughput and per-phase
+// latencies. Every run must finish StateDone; anything else is an error.
+func SchedBench(workers, runs, tenants int) (SchedBenchResult, error) {
+	if tenants < 1 {
+		tenants = 1
+	}
+	tr, err := rm3d.GenerateTrace(schedBenchTrace())
+	if err != nil {
+		return SchedBenchResult{}, err
+	}
+	p, err := partition.ByName("G-MISP+SP")
+	if err != nil {
+		return SchedBenchResult{}, err
+	}
+	s := sched.New(sched.Config{Workers: workers, QueueLimit: runs, KeepFinished: runs})
+	defer s.Close()
+
+	start := time.Now()
+	ids := make([]string, 0, runs)
+	for i := 0; i < runs; i++ {
+		st, err := s.Submit(sched.SubmitRequest{
+			Tenant:   fmt.Sprintf("tenant-%d", i%tenants),
+			Priority: i % 3,
+			Spec: sched.RunSpec{
+				Trace:    tr,
+				Strategy: core.Static{P: p},
+				Machine:  cluster.SP2(4),
+				NProcs:   4,
+			},
+		})
+		if err != nil {
+			return SchedBenchResult{}, fmt.Errorf("submission %d: %w", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	var queueSum, runSum float64
+	for _, id := range ids {
+		st, err := s.Wait(context.Background(), id)
+		if err != nil {
+			return SchedBenchResult{}, err
+		}
+		if st.State != sched.StateDone {
+			return SchedBenchResult{}, fmt.Errorf("run %s ended %s: %s", id, st.State, st.Error)
+		}
+		queueSum += st.QueueSeconds
+		runSum += st.RunSeconds
+	}
+	wall := time.Since(start).Seconds()
+	return SchedBenchResult{
+		Workers:          workers,
+		Tenants:          tenants,
+		Runs:             runs,
+		WallSeconds:      wall,
+		RunsPerSecond:    float64(runs) / wall,
+		MeanQueueSeconds: queueSum / float64(runs),
+		MeanRunSeconds:   runSum / float64(runs),
+	}, nil
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/core"
+)
+
+// BenchmarkSchedulerSubmitCycle measures the per-run overhead of the full
+// scheduler path — admission, fair-queue churn across 8 tenants and 4
+// priority bands, worker hand-off, and terminal bookkeeping — with a no-op
+// run body, so the number is pure scheduling cost.
+func BenchmarkSchedulerSubmitCycle(b *testing.B) {
+	s := New(Config{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueLimit: 1 << 30, // never reject: the bench measures throughput, not backpressure
+	})
+	defer s.Close()
+	var wg sync.WaitGroup
+	noop := func(<-chan struct{}) (*core.RunResult, error) {
+		wg.Done()
+		return nil, nil
+	}
+	tenants := [8]string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(SubmitRequest{
+			Tenant:   tenants[i%len(tenants)],
+			Priority: i % 4,
+			RunFunc:  noop,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkFairQueueChurn measures steady-state push/pop on the admission
+// queue itself: 16 tenants rotating inside 4 priority bands.
+func BenchmarkFairQueueChurn(b *testing.B) {
+	fq := newFairQueue()
+	rs := make([]*run, 64)
+	for i := range rs {
+		rs[i] = &run{tenant: string(rune('a' + i%16)), priority: i % 4}
+	}
+	for _, r := range rs {
+		fq.push(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := fq.pop()
+		fq.push(r)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// SpecBuilder turns a submit request's wire parameters into a RunSpec.
+// The scheduler stays ignorant of trace formats; the serving binary
+// decides what "trace=small&strategy=adaptive" means (and can cache the
+// generated traces across submissions).
+type SpecBuilder func(tenant string, priority int, v url.Values) (RunSpec, error)
+
+// Handler exposes the scheduler over HTTP, designed to be mounted on the
+// telemetry server's mux:
+//
+//	POST /sched/submit?tenant=T&priority=N&...  admit a run (spec params go to build)
+//	GET  /sched/status?id=run-000001            one run's status
+//	GET  /sched/runs                            every retained run record
+//	GET  /sched/stats                           aggregate scheduler state
+//	POST /sched/drain                           graceful drain; returns when drained
+//
+// Submit returns 202 on admission, 429 with Retry-After under backpressure
+// (saturation or tenant limit), and 503 while draining.
+func Handler(s *Scheduler, build SpecBuilder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sched/submit", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if build == nil {
+			httpError(w, http.StatusNotImplemented, "no spec builder configured")
+			return
+		}
+		v := req.URL.Query()
+		tenant := v.Get("tenant")
+		priority := 0
+		if p := v.Get("priority"); p != "" {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad priority: "+err.Error())
+				return
+			}
+			priority = n
+		}
+		spec, err := build(tenant, priority, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err := s.Submit(SubmitRequest{Tenant: tenant, Priority: priority, Spec: spec})
+		switch {
+		case errors.Is(err, ErrSaturated), errors.Is(err, ErrTenantLimit):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+	mux.HandleFunc("/sched/status", func(w http.ResponseWriter, req *http.Request) {
+		st, ok := s.Status(req.URL.Query().Get("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown run id")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/sched/runs", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, s.Runs())
+	})
+	mux.HandleFunc("/sched/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/sched/drain", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if err := s.Drain(req.Context()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,49 @@
+package sched
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// Scheduler instrumentation. Admission verdicts and run outcomes are
+// labeled counters resolved at admission/completion time (both are far off
+// the BSP hot path); queue depth and active runs are plain gauges updated
+// under the scheduler lock. When several Scheduler instances share the
+// process (tests), the gauges describe the instance that last moved.
+var (
+	metricQueueDepth = telemetry.Default.Gauge(
+		"pragma_sched_queue_depth",
+		"Admitted runs waiting for a pool worker.")
+	metricActiveRuns = telemetry.Default.Gauge(
+		"pragma_sched_active_runs",
+		"Runs currently executing on pool workers.")
+	metricWorkers = telemetry.Default.Gauge(
+		"pragma_sched_workers",
+		"Size of the shared worker pool.")
+	metricAdmissions = telemetry.Default.CounterVec(
+		"pragma_sched_admissions_total",
+		"Admission verdicts: accepted, or why the run was turned away.",
+		"verdict")
+	metricOutcomes = telemetry.Default.CounterVec(
+		"pragma_sched_runs_total",
+		"Finished runs by outcome (done, failed, drained, cancelled).",
+		"outcome")
+	metricRunSeconds = telemetry.Default.HistogramVec(
+		"pragma_sched_run_seconds",
+		"Wall-clock run latency from worker pickup to completion, by outcome.",
+		[]float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300},
+		"outcome")
+	metricQueueWaitSeconds = telemetry.Default.Histogram(
+		"pragma_sched_queue_wait_seconds",
+		"Wall-clock wait between admission and worker pickup.",
+		[]float64{.001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60})
+	metricPanics = telemetry.Default.Counter(
+		"pragma_sched_panics_total",
+		"Runs that panicked and were contained by the worker (recorded as failed).")
+	metricDrains = telemetry.Default.Counter(
+		"pragma_sched_drains_total",
+		"Graceful drains initiated.")
+
+	// Pre-resolved admission verdict children: Submit is the API hot path.
+	admitAccepted  = metricAdmissions.With("accepted")
+	admitSaturated = metricAdmissions.With("rejected_saturated")
+	admitTenant    = metricAdmissions.With("rejected_tenant_limit")
+	admitDraining  = metricAdmissions.With("rejected_draining")
+)

@@ -1,0 +1,92 @@
+package sched
+
+// fairQueue is the admission queue: priority bands ordered highest-first,
+// and inside each band one FIFO per tenant served round-robin. A flood of
+// submissions from one tenant therefore cannot starve another tenant at
+// the same priority — each rotation hands every waiting tenant exactly one
+// slot — while a higher band always preempts the bands below it.
+//
+// The queue is not self-synchronized; the Scheduler accesses it under its
+// own mutex.
+type fairQueue struct {
+	bands []*band // sorted by priority, descending
+	n     int
+}
+
+// band is one priority class: per-tenant FIFOs plus the rotation ring.
+type band struct {
+	priority int
+	ring     []string // tenant rotation order
+	next     int      // ring index the next pop starts from
+	fifos    map[string][]*run
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{}
+}
+
+func (q *fairQueue) len() int { return q.n }
+
+// push appends r to its tenant's FIFO in the band for r.priority, creating
+// band and tenant slots on first use. New tenants join the rotation ring
+// at the end and are served within one full rotation.
+func (q *fairQueue) push(r *run) {
+	i := 0
+	for i < len(q.bands) && q.bands[i].priority > r.priority {
+		i++
+	}
+	if i == len(q.bands) || q.bands[i].priority != r.priority {
+		q.bands = append(q.bands, nil)
+		copy(q.bands[i+1:], q.bands[i:])
+		q.bands[i] = &band{priority: r.priority, fifos: make(map[string][]*run)}
+	}
+	b := q.bands[i]
+	if _, ok := b.fifos[r.tenant]; !ok {
+		b.ring = append(b.ring, r.tenant)
+	}
+	b.fifos[r.tenant] = append(b.fifos[r.tenant], r)
+	q.n++
+}
+
+// pop removes and returns the next run: the highest non-empty priority
+// band, and within it the next tenant in rotation. Returns nil when empty.
+func (q *fairQueue) pop() *run {
+	for bi := 0; bi < len(q.bands); bi++ {
+		b := q.bands[bi]
+		if len(b.ring) == 0 {
+			continue
+		}
+		if b.next >= len(b.ring) {
+			b.next = 0
+		}
+		tenant := b.ring[b.next]
+		fifo := b.fifos[tenant]
+		r := fifo[0]
+		fifo[0] = nil // release the reference for GC
+		if len(fifo) == 1 {
+			// Tenant emptied: leave the rotation; the cursor now points at
+			// the shifted-in successor, which is exactly the next tenant.
+			delete(b.fifos, tenant)
+			b.ring = append(b.ring[:b.next], b.ring[b.next+1:]...)
+		} else {
+			b.fifos[tenant] = fifo[1:]
+			b.next++
+		}
+		if len(b.ring) == 0 {
+			q.bands = append(q.bands[:bi], q.bands[bi+1:]...)
+		}
+		q.n--
+		return r
+	}
+	return nil
+}
+
+// drainAll removes and returns every queued run (used when a drain cancels
+// the backlog), in pop order.
+func (q *fairQueue) drainAll() []*run {
+	out := make([]*run, 0, q.n)
+	for r := q.pop(); r != nil; r = q.pop() {
+		out = append(out, r)
+	}
+	return out
+}

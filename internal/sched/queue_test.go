@@ -1,0 +1,99 @@
+package sched
+
+import "testing"
+
+func q(tenant string, priority int, id string) *run {
+	return &run{tenant: tenant, priority: priority, id: id}
+}
+
+func popIDs(t *testing.T, fq *fairQueue, want ...string) {
+	t.Helper()
+	for i, w := range want {
+		r := fq.pop()
+		if r == nil {
+			t.Fatalf("pop %d: queue empty, want %q", i, w)
+		}
+		if r.id != w {
+			t.Fatalf("pop %d: got %q, want %q", i, r.id, w)
+		}
+	}
+}
+
+func TestFairQueueFIFOSingleTenant(t *testing.T) {
+	fq := newFairQueue()
+	for _, id := range []string{"a", "b", "c"} {
+		fq.push(q("t", 0, id))
+	}
+	if fq.len() != 3 {
+		t.Fatalf("len = %d, want 3", fq.len())
+	}
+	popIDs(t, fq, "a", "b", "c")
+	if fq.pop() != nil {
+		t.Fatal("pop on empty queue returned a run")
+	}
+	if fq.len() != 0 {
+		t.Fatalf("len = %d after draining, want 0", fq.len())
+	}
+}
+
+func TestFairQueuePriorityBands(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("t", 0, "low"))
+	fq.push(q("t", 5, "high"))
+	fq.push(q("t", 2, "mid"))
+	fq.push(q("t", 5, "high2"))
+	popIDs(t, fq, "high", "high2", "mid", "low")
+}
+
+func TestFairQueueTenantRotation(t *testing.T) {
+	fq := newFairQueue()
+	// Tenant A floods before B and C arrive; rotation still hands every
+	// tenant one slot per cycle.
+	fq.push(q("A", 0, "a1"))
+	fq.push(q("A", 0, "a2"))
+	fq.push(q("A", 0, "a3"))
+	fq.push(q("B", 0, "b1"))
+	fq.push(q("C", 0, "c1"))
+	popIDs(t, fq, "a1", "b1", "c1", "a2", "a3")
+}
+
+func TestFairQueueRotationSurvivesTenantExit(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 0, "a1"))
+	fq.push(q("B", 0, "b1"))
+	fq.push(q("B", 0, "b2"))
+	fq.push(q("C", 0, "c1"))
+	// A empties on the first pop; the cursor must land on B, not skip it.
+	popIDs(t, fq, "a1", "b1", "c1", "b2")
+}
+
+func TestFairQueueInterleavedPushes(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 0, "a1"))
+	popIDs(t, fq, "a1")
+	fq.push(q("B", 0, "b1"))
+	fq.push(q("A", 0, "a2"))
+	// B joined the (fresh) ring first this time.
+	popIDs(t, fq, "b1", "a2")
+}
+
+func TestFairQueueDrainAll(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 1, "a1"))
+	fq.push(q("B", 0, "b1"))
+	fq.push(q("A", 0, "a2"))
+	got := fq.drainAll()
+	// a1 outranks band 0; inside band 0, B joined the rotation first.
+	want := []string{"a1", "b1", "a2"}
+	if len(got) != len(want) {
+		t.Fatalf("drainAll returned %d runs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].id != want[i] {
+			t.Fatalf("drainAll[%d] = %q, want %q", i, got[i].id, want[i])
+		}
+	}
+	if fq.len() != 0 || fq.pop() != nil {
+		t.Fatal("queue not empty after drainAll")
+	}
+}

@@ -1,0 +1,561 @@
+// Package sched is Pragma's multi-tenant run scheduler: it executes many
+// concurrent core.Run replays through one bounded shared worker pool
+// instead of one engine per process.
+//
+// The paper's ADM/agent architecture manages a single application per
+// runtime. Serving heavy traffic needs the complementary layer grid
+// schedulers put in front of per-run engines: admission control that
+// rejects work the pool cannot absorb, a priority queue with per-tenant
+// fairness so one tenant's flood cannot starve the rest, per-run isolation
+// so a panic or lost-worker failure in one run never disturbs another, and
+// graceful drain — stop admitting, interrupt in-flight runs at their next
+// regrid boundary so they checkpoint through the internal/checkpoint path,
+// and hand back a set of resumable run records.
+//
+// Concurrency model: exactly Config.Workers goroutines execute runs; Submit
+// never spawns. Admitted runs wait in a fairQueue (priority bands, tenant
+// round-robin). Drain closes one shared interrupt channel that every
+// in-flight core.Run polls at regrid boundaries, cancels the backlog, and
+// waits for the pool to exit.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/core"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// Admission errors. Submit returns one of these (wrapped with context);
+// test with errors.Is. They are the backpressure surface: a caller seeing
+// ErrSaturated or ErrTenantLimit should retry later, one seeing
+// ErrDraining should go to another instance.
+var (
+	// ErrSaturated means the pool and the admission queue are both full.
+	ErrSaturated = errors.New("sched: saturated, admission queue full")
+	// ErrTenantLimit means this tenant already holds its maximum share of
+	// queued plus running work.
+	ErrTenantLimit = errors.New("sched: tenant over admission limit")
+	// ErrDraining means the scheduler no longer admits work.
+	ErrDraining = errors.New("sched: draining, not admitting")
+)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the pool size: the number of runs executing concurrently
+	// (default 4). The scheduler runs exactly this many worker goroutines.
+	Workers int
+	// QueueLimit bounds the admitted-but-waiting backlog (default 64).
+	// Submissions beyond it fail with ErrSaturated.
+	QueueLimit int
+	// TenantLimit bounds one tenant's queued plus running work
+	// (0 = unlimited). Submissions beyond it fail with ErrTenantLimit.
+	TenantLimit int
+	// KeepFinished bounds retained terminal run records (default 1024);
+	// the oldest are evicted so a long-lived server's memory stays flat.
+	KeepFinished int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.KeepFinished <= 0 {
+		c.KeepFinished = 1024
+	}
+}
+
+// RunSpec describes one run to execute: the inputs core.Run needs plus the
+// checkpoint configuration that makes the run drainable. Each submission
+// needs its own Strategy value — strategies carry per-run state.
+type RunSpec struct {
+	Trace     *samr.Trace
+	Strategy  core.Strategy
+	Machine   *cluster.Cluster
+	NProcs    int
+	Cost      cluster.CostModel
+	WorkModel func(idx int) samr.WorkModel
+	// CheckpointDir, when set, persists run state at regrid boundaries —
+	// and at drain time, which is what makes a drained run resumable.
+	CheckpointDir   string
+	CheckpointEvery int
+	CheckpointKeep  int
+	// Resume continues from the latest valid checkpoint in CheckpointDir
+	// (how a run drained by a previous instance is picked back up).
+	Resume bool
+	// EmulateSteps, when positive, follows the replay by running the final
+	// snapshot on the message-passing engine for this many BSP steps under
+	// worker supervision: every barrier wait is bounded by EmulateDeadline
+	// and lost workers are remapped onto survivors up to EmulateRetries
+	// times (engine.RunRecovering) before the run fails.
+	EmulateSteps    int
+	EmulateDeadline time.Duration
+	EmulateRetries  int
+}
+
+func (s *RunSpec) validate() error {
+	if s.Trace == nil || len(s.Trace.Snapshots) == 0 {
+		return fmt.Errorf("sched: spec has no trace")
+	}
+	if s.Strategy == nil {
+		return fmt.Errorf("sched: spec has no strategy")
+	}
+	if s.Machine == nil {
+		return fmt.Errorf("sched: spec has no machine")
+	}
+	return nil
+}
+
+// SubmitRequest is one admission attempt.
+type SubmitRequest struct {
+	// Tenant attributes the run for fairness and per-tenant limits
+	// ("" is itself a tenant).
+	Tenant string
+	// Priority orders admitted runs: higher runs first; equal priorities
+	// are served tenant-round-robin.
+	Priority int
+	// Spec is the run to execute.
+	Spec RunSpec
+	// RunFunc, when non-nil, replaces Spec entirely: the scheduler calls
+	// it with the drain-interrupt channel. A RunFunc returning an error
+	// wrapping core.ErrInterrupted is recorded as drained. This is the
+	// seam tests and synthetic benchmarks use.
+	RunFunc func(interrupt <-chan struct{}) (*core.RunResult, error)
+}
+
+// State is a run's lifecycle phase.
+type State string
+
+// Run states. Queued and Running are transient; the rest are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateDrained   State = "drained"   // interrupted at a regrid boundary; checkpointed if configured
+	StateCancelled State = "cancelled" // still queued when the drain began; never started
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateDrained || s == StateCancelled
+}
+
+// RunStatus is the externally visible snapshot of one run.
+type RunStatus struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	State    State  `json:"state"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+
+	// QueueSeconds and RunSeconds are filled as the phases complete.
+	QueueSeconds float64 `json:"queueSeconds"`
+	RunSeconds   float64 `json:"runSeconds"`
+
+	// Error describes a failed run, or the interrupt a drained one
+	// stopped with.
+	Error string `json:"error,omitempty"`
+	// Resumable marks a drained run that can be resubmitted with
+	// Spec.Resume against the same CheckpointDir and continue (or, with no
+	// checkpoint written yet, correctly restart) toward the identical
+	// final result.
+	Resumable bool `json:"resumable,omitempty"`
+	// CheckpointDir echoes the spec's checkpoint location for resubmission.
+	CheckpointDir string `json:"checkpointDir,omitempty"`
+	// Result is the completed run's execution profile (done runs only).
+	Result *core.RunResult `json:"result,omitempty"`
+}
+
+// run is the scheduler's internal record.
+type run struct {
+	seq      int
+	id       string
+	tenant   string
+	priority int
+	spec     RunSpec
+	runFn    func(interrupt <-chan struct{}) (*core.RunResult, error)
+
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	result    *core.RunResult
+	done      chan struct{} // closed on terminal state
+}
+
+func (r *run) status() RunStatus {
+	st := RunStatus{
+		ID:        r.id,
+		Tenant:    r.tenant,
+		Priority:  r.priority,
+		State:     r.state,
+		Submitted: r.submitted,
+		Started:   r.started,
+		Finished:  r.finished,
+	}
+	if !r.started.IsZero() {
+		st.QueueSeconds = r.started.Sub(r.submitted).Seconds()
+		if !r.finished.IsZero() {
+			st.RunSeconds = r.finished.Sub(r.started).Seconds()
+		}
+	}
+	if r.err != nil {
+		st.Error = r.err.Error()
+	}
+	if r.state == StateDrained {
+		st.Resumable = r.spec.CheckpointDir != ""
+		st.CheckpointDir = r.spec.CheckpointDir
+	}
+	if r.state == StateDone {
+		st.Result = r.result
+	}
+	return st
+}
+
+// Stats is a point-in-time view of the scheduler.
+type Stats struct {
+	Workers     int  `json:"workers"`
+	QueueDepth  int  `json:"queueDepth"`
+	QueueLimit  int  `json:"queueLimit"`
+	TenantLimit int  `json:"tenantLimit"`
+	Active      int  `json:"active"`
+	Draining    bool `json:"draining"`
+
+	Submitted int `json:"submitted"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Drained   int `json:"drained"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Scheduler multiplexes runs over a bounded worker pool.
+type Scheduler struct {
+	cfg     Config
+	drainCh chan struct{}
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      *fairQueue
+	runs       map[string]*run
+	finished   []string // eviction order of terminal records
+	tenantLoad map[string]int
+	counts     map[State]int
+	active     int
+	submitted  int
+	seq        int
+	draining   bool
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// New starts a scheduler with Config.Workers pool goroutines. Stop it with
+// Drain (graceful) or Close.
+func New(cfg Config) *Scheduler {
+	cfg.fill()
+	s := &Scheduler{
+		cfg:        cfg,
+		drainCh:    make(chan struct{}),
+		stopped:    make(chan struct{}),
+		queue:      newFairQueue(),
+		runs:       make(map[string]*run),
+		tenantLoad: make(map[string]int),
+		counts:     make(map[State]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	metricWorkers.Set(float64(cfg.Workers))
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a run or rejects it with ErrSaturated, ErrTenantLimit or
+// ErrDraining. On admission it returns the queued run's status snapshot;
+// the run starts as soon as a pool worker frees up.
+func (s *Scheduler) Submit(req SubmitRequest) (RunStatus, error) {
+	runFn := req.RunFunc
+	if runFn == nil {
+		spec := req.Spec
+		if err := spec.validate(); err != nil {
+			return RunStatus{}, err
+		}
+		runFn = func(interrupt <-chan struct{}) (*core.RunResult, error) {
+			res, err := core.Run(spec.Trace, spec.Strategy, core.RunConfig{
+				Machine:         spec.Machine,
+				Cost:            spec.Cost,
+				NProcs:          spec.NProcs,
+				WorkModel:       spec.WorkModel,
+				CheckpointDir:   spec.CheckpointDir,
+				CheckpointEvery: spec.CheckpointEvery,
+				CheckpointKeep:  spec.CheckpointKeep,
+				Resume:          spec.Resume,
+				Interrupt:       interrupt,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if spec.EmulateSteps > 0 {
+				if err := emulateFinalSnapshot(spec); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		admitDraining.Inc()
+		return RunStatus{}, fmt.Errorf("sched: submit %q: %w", req.Tenant, ErrDraining)
+	}
+	if s.cfg.TenantLimit > 0 && s.tenantLoad[req.Tenant] >= s.cfg.TenantLimit {
+		s.mu.Unlock()
+		admitTenant.Inc()
+		return RunStatus{}, fmt.Errorf("sched: tenant %q at limit %d: %w",
+			req.Tenant, s.cfg.TenantLimit, ErrTenantLimit)
+	}
+	if s.queue.len() >= s.cfg.QueueLimit {
+		s.mu.Unlock()
+		admitSaturated.Inc()
+		return RunStatus{}, fmt.Errorf("sched: queue at limit %d: %w", s.cfg.QueueLimit, ErrSaturated)
+	}
+	s.seq++
+	r := &run{
+		seq:       s.seq,
+		id:        fmt.Sprintf("run-%06d", s.seq),
+		tenant:    req.Tenant,
+		priority:  req.Priority,
+		spec:      req.Spec,
+		runFn:     runFn,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.runs[r.id] = r
+	s.submitted++
+	s.tenantLoad[r.tenant]++
+	s.queue.push(r)
+	metricQueueDepth.Set(float64(s.queue.len()))
+	st := r.status()
+	s.mu.Unlock()
+
+	admitAccepted.Inc()
+	s.cond.Signal()
+	return st, nil
+}
+
+// worker is one pool goroutine: it executes queued runs until a drain
+// empties the queue.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		r := s.queue.pop()
+		if r == nil { // draining and nothing left
+			s.mu.Unlock()
+			return
+		}
+		r.state = StateRunning
+		r.started = time.Now()
+		s.active++
+		metricQueueDepth.Set(float64(s.queue.len()))
+		metricActiveRuns.Set(float64(s.active))
+		s.mu.Unlock()
+
+		metricQueueWaitSeconds.Observe(r.started.Sub(r.submitted).Seconds())
+		s.execute(r)
+	}
+}
+
+// execute runs r with panic containment: a panicking run is recorded as
+// failed and the worker survives to serve the next one.
+func (s *Scheduler) execute(r *run) {
+	defer func() {
+		if p := recover(); p != nil {
+			metricPanics.Inc()
+			s.finish(r, nil, fmt.Errorf("sched: run panicked: %v", p))
+		}
+	}()
+	res, err := r.runFn(s.drainCh)
+	s.finish(r, res, err)
+}
+
+// finish records r's terminal state and releases its tenant slot.
+func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
+	state := StateDone
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrInterrupted):
+		state = StateDrained
+	default:
+		state = StateFailed
+	}
+
+	s.mu.Lock()
+	r.state = state
+	r.finished = time.Now()
+	r.result = res
+	r.err = err
+	s.active--
+	s.tenantLoad[r.tenant]--
+	if s.tenantLoad[r.tenant] <= 0 {
+		delete(s.tenantLoad, r.tenant)
+	}
+	s.counts[state]++
+	s.retire(r)
+	metricActiveRuns.Set(float64(s.active))
+	s.mu.Unlock()
+
+	metricOutcomes.With(string(state)).Inc()
+	metricRunSeconds.With(string(state)).Observe(r.finished.Sub(r.started).Seconds())
+	close(r.done)
+}
+
+// retire appends r to the terminal-record ring, evicting the oldest
+// records beyond KeepFinished. Callers hold s.mu.
+func (s *Scheduler) retire(r *run) {
+	s.finished = append(s.finished, r.id)
+	for len(s.finished) > s.cfg.KeepFinished {
+		delete(s.runs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Drain gracefully stops the scheduler: admission closes, the backlog is
+// cancelled, every in-flight run is interrupted at its next regrid
+// boundary (checkpointing through its configured store first), and Drain
+// returns once the pool has exited — or earlier with ctx's error. Drained
+// runs report Resumable and can be resubmitted with Spec.Resume. Drain is
+// idempotent; concurrent calls all wait for the same drain.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		metricDrains.Inc()
+		close(s.drainCh) // interrupt every in-flight core.Run
+		cancelled := s.queue.drainAll()
+		metricQueueDepth.Set(0)
+		now := time.Now()
+		for _, r := range cancelled {
+			r.state = StateCancelled
+			r.finished = now
+			s.tenantLoad[r.tenant]--
+			if s.tenantLoad[r.tenant] <= 0 {
+				delete(s.tenantLoad, r.tenant)
+			}
+			s.counts[StateCancelled]++
+			s.retire(r)
+			metricOutcomes.With(string(StateCancelled)).Inc()
+			close(r.done)
+		}
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	go func() {
+		s.wg.Wait()
+		s.stopOnce.Do(func() { close(s.stopped) })
+	}()
+	select {
+	case <-s.stopped:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sched: drain: %w", ctx.Err())
+	}
+}
+
+// Stopped returns a channel closed once a drain has completed and the
+// worker pool has exited — however the drain was initiated (Close, Drain,
+// or the HTTP drain endpoint). Serving binaries select on it to exit after
+// a remote drain.
+func (s *Scheduler) Stopped() <-chan struct{} { return s.stopped }
+
+// Close drains with no deadline: it returns once every in-flight run has
+// reached a regrid boundary and stopped.
+func (s *Scheduler) Close() error { return s.Drain(context.Background()) }
+
+// Status returns the run's current snapshot.
+func (s *Scheduler) Status(id string) (RunStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return RunStatus{}, false
+	}
+	return r.status(), true
+}
+
+// Wait blocks until the run reaches a terminal state (or ctx ends) and
+// returns its final status.
+func (s *Scheduler) Wait(ctx context.Context, id string) (RunStatus, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunStatus{}, fmt.Errorf("sched: unknown run %q", id)
+	}
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return RunStatus{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return r.status(), nil
+}
+
+// Runs lists every retained run record in submission order.
+func (s *Scheduler) Runs() []RunStatus {
+	s.mu.Lock()
+	rs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].seq < rs[j].seq })
+	out := make([]RunStatus, len(rs))
+	for i, r := range rs {
+		out[i] = r.status()
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Stats returns the scheduler's aggregate state.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:     s.cfg.Workers,
+		QueueDepth:  s.queue.len(),
+		QueueLimit:  s.cfg.QueueLimit,
+		TenantLimit: s.cfg.TenantLimit,
+		Active:      s.active,
+		Draining:    s.draining,
+		Submitted:   s.submitted,
+		Done:        s.counts[StateDone],
+		Failed:      s.counts[StateFailed],
+		Drained:     s.counts[StateDrained],
+		Cancelled:   s.counts[StateCancelled],
+	}
+}

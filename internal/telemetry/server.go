@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -16,7 +17,10 @@ import (
 //	/debug/pragma  JSONL dump of tracer's recorded traces
 //
 // health may be nil (always healthy); tracer may be nil (empty dump).
-func NewHandler(reg *Registry, tracer *Tracer, health func() error) http.Handler {
+// The returned mux is open for extension: callers mount additional routes
+// on it (pragma-node -sched adds the scheduler's /sched/ endpoints) and
+// serve the combined handler with ServeHandler.
+func NewHandler(reg *Registry, tracer *Tracer, health func() error) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -52,6 +56,13 @@ type Server struct {
 // Serve starts the telemetry endpoint on addr (e.g. ":9090" or
 // "127.0.0.1:0") and returns once it is listening. Close shuts it down.
 func Serve(addr string, reg *Registry, tracer *Tracer, health func() error) (*Server, error) {
+	return ServeHandler(addr, NewHandler(reg, tracer, health))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler — typically
+// a NewHandler mux extended with extra routes — and returns once it is
+// listening.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
@@ -59,7 +70,7 @@ func Serve(addr string, reg *Registry, tracer *Tracer, health func() error) (*Se
 	srv := &Server{
 		ln: ln,
 		http: &http.Server{
-			Handler:           NewHandler(reg, tracer, health),
+			Handler:           h,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
@@ -70,5 +81,15 @@ func Serve(addr string, reg *Registry, tracer *Tracer, health func() error) (*Se
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.http.Close() }
+// Close stops the server, letting in-flight responses — e.g. the drain
+// endpoint's final stats, whose completion is what unblocks a serving
+// binary's exit — finish within a short grace period before connections
+// are torn down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.http.Shutdown(ctx); err != nil {
+		return s.http.Close()
+	}
+	return nil
+}

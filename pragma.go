@@ -26,6 +26,7 @@ package pragma
 import (
 	"io"
 	"net"
+	"net/http"
 
 	"github.com/pragma-grid/pragma/internal/agents"
 	"github.com/pragma-grid/pragma/internal/astro"
@@ -41,6 +42,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/policy"
 	"github.com/pragma-grid/pragma/internal/rm3d"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/sched"
 	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
@@ -488,6 +490,18 @@ func WithResume() RunOption {
 	return func(c *core.RunConfig) { c.Resume = true }
 }
 
+// WithInterrupt stops the run at the next regrid boundary once ch is
+// closed: with checkpointing configured the loop state is persisted first,
+// and Execute fails with an error wrapping ErrRunInterrupted. This is the
+// graceful-drain hook (the Scheduler wires it for every run it manages).
+func WithInterrupt(ch <-chan struct{}) RunOption {
+	return func(c *core.RunConfig) { c.Interrupt = ch }
+}
+
+// ErrRunInterrupted is the sentinel an interrupted Execute fails with
+// (test with errors.Is); the run is resumable via WithResume.
+var ErrRunInterrupted = core.ErrInterrupted
+
 // Execute replays the trace and returns the execution profile.
 func (r Runtime) Execute(opts ...RunOption) (*RunResult, error) {
 	strat := r.Strategy
@@ -540,3 +554,46 @@ func ServeTelemetry(addr string) (*TelemetryServer, error) {
 // RegisterQueueDepthGauge exposes a Message Center's aggregate mailbox
 // depth as the pragma_agents_queue_depth gauge, sampled at scrape time.
 func RegisterQueueDepthGauge(c *MessageCenter) { agents.RegisterQueueDepthGauge(c) }
+
+// Scheduler aliases. The implementation lives in internal/sched; see
+// DESIGN.md §12 for the admission, fairness and drain semantics.
+type (
+	// Scheduler is the multi-tenant run scheduler: many concurrent runs
+	// through one bounded worker pool, with admission control, per-tenant
+	// fairness, per-run isolation, and graceful drain.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig sizes a Scheduler (pool, queue and tenant limits).
+	SchedulerConfig = sched.Config
+	// SchedulerRunSpec describes one run to execute: the Runtime inputs
+	// plus the checkpoint configuration that makes the run drainable.
+	SchedulerRunSpec = sched.RunSpec
+	// SchedulerSubmission is one admission attempt (tenant, priority, spec).
+	SchedulerSubmission = sched.SubmitRequest
+	// SchedulerRunStatus is the externally visible snapshot of one run.
+	SchedulerRunStatus = sched.RunStatus
+	// SchedulerStats is a point-in-time aggregate view of a Scheduler.
+	SchedulerStats = sched.Stats
+	// SchedulerSpecBuilder maps submit-request wire parameters to run specs
+	// for the HTTP API.
+	SchedulerSpecBuilder = sched.SpecBuilder
+)
+
+// Scheduler admission errors — the backpressure surface Submit rejects
+// with (test with errors.Is).
+var (
+	ErrSchedulerSaturated   = sched.ErrSaturated
+	ErrSchedulerTenantLimit = sched.ErrTenantLimit
+	ErrSchedulerDraining    = sched.ErrDraining
+)
+
+// NewScheduler starts a run scheduler with cfg.Workers pool goroutines.
+// Stop it with Drain (graceful: in-flight runs checkpoint at their next
+// regrid boundary and report as resumable) or Close.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
+
+// NewSchedulerHandler exposes a scheduler's submit/status/runs/stats/drain
+// endpoints under /sched/, designed to be mounted next to the telemetry
+// routes; build maps submit parameters to run specs (nil disables submit).
+func NewSchedulerHandler(s *Scheduler, build SchedulerSpecBuilder) http.Handler {
+	return sched.Handler(s, build)
+}

@@ -1,0 +1,79 @@
+package pragma
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestFacadeInterrupt: the WithInterrupt option stops an Execute at the
+// next regrid boundary with ErrRunInterrupted, after checkpointing, and a
+// resumed Execute completes with a full profile.
+func TestFacadeInterrupt(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ch := make(chan struct{})
+	close(ch)
+	rt := Runtime{Trace: trace, Machine: NewCluster(4), Strategy: Adaptive()}
+	_, err = rt.Execute(WithCheckpointDir(dir), WithInterrupt(ch))
+	if !errors.Is(err, ErrRunInterrupted) {
+		t.Fatalf("interrupted Execute returned %v, want ErrRunInterrupted", err)
+	}
+	res, err := rt.Execute(WithCheckpointDir(dir), WithResume())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatalf("resumed run did no work: %+v", res)
+	}
+}
+
+// TestFacadeScheduler drives the exported scheduler surface: submit a run
+// through NewScheduler, wait for it, and check backpressure errors are
+// reachable through the facade's names.
+func TestFacadeScheduler(t *testing.T) {
+	trace, err := GenerateRM3D(RM3DSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(SchedulerConfig{Workers: 2, QueueLimit: 4})
+	defer s.Close()
+	st, err := s.Submit(SchedulerSubmission{
+		Tenant: "acme",
+		Spec: SchedulerRunSpec{
+			Trace:    trace,
+			Strategy: Adaptive(),
+			Machine:  NewCluster(4),
+			NProcs:   4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("run finished %q (%s), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Steps == 0 {
+		t.Fatalf("done run carries no result: %+v", final)
+	}
+	if stats := s.Stats(); stats.Done != 1 || stats.Workers != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Submit(SchedulerSubmission{
+		Tenant: "acme",
+		Spec:   SchedulerRunSpec{Trace: trace, Strategy: Adaptive(), Machine: NewCluster(4), NProcs: 4},
+	})
+	if !errors.Is(err, ErrSchedulerDraining) {
+		t.Fatalf("post-drain submit returned %v, want ErrSchedulerDraining", err)
+	}
+}
