@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet bench bench-telemetry bench-pac bench-sched bench-gate bench-baseline experiments ablations extensions fmt cover clean
+.PHONY: build test test-short test-scenario vet bench bench-telemetry bench-pac bench-sched bench-gate bench-baseline experiments ablations extensions fmt cover clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ test-short: vet
 # Full suite, including the paper-scale Table 4/5 shape tests (~3 min).
 test: vet
 	$(GO) test ./...
+
+# Scenario-engine property suite under the race detector: octant
+# reachability, classifier/driver signature agreement, Table-2 conformance
+# across the seeded corpus, and a short FuzzScenarioRun smoke.
+test-scenario:
+	$(GO) test -race ./internal/scenario/ ./internal/octant/
+	$(GO) test -race -run 'TestScenario|ExampleParseScenario|ExampleScenarioForOctant' ./internal/experiments/ .
+	$(GO) test ./internal/scenario/ -fuzz=FuzzScenarioRun -fuzztime=10s -run='^$$'
 
 # One timed regeneration of every table, figure and ablation.
 bench:

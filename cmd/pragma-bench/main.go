@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -63,10 +64,12 @@ func main() {
 		extensions = flag.Bool("extensions", false, "run the extension experiments (cross-application study, PF runtime prediction)")
 		kernel     = flag.Bool("kernel", false, "benchmark the PAC evaluation kernels (reference vs CommPlan)")
 		schedLoad  = flag.Bool("sched", false, "benchmark the run scheduler (many tiny replays through the shared pool)")
+		scen       = flag.String("scenario", "", "replay a composed scenario spec (internal/scenario grammar) and report declared vs observed octants")
+		scenCov    = flag.Int("scenario-coverage", 0, "replay a corpus of this many seeded scenarios and print the octant-coverage table (EXPERIMENTS.md uses 100)")
 		jsonOut    = flag.Bool("json", false, "write one JSON object with per-run wall time and key metrics to stdout (tables go to stderr)")
 	)
 	flag.Parse()
-	if !*all && !*ablations && !*extensions && !*kernel && !*schedLoad && *table == 0 && *figure == 0 {
+	if !*all && !*ablations && !*extensions && !*kernel && !*schedLoad && *scen == "" && *scenCov == 0 && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -128,6 +131,12 @@ func main() {
 	if *schedLoad {
 		run("Scheduler load (tiny RM3D replays through the shared pool)", func() error { return printSched() })
 	}
+	if *scen != "" {
+		run("Scenario replay: "+*scen, func() error { return printScenario(*scen) })
+	}
+	if *scenCov > 0 {
+		run("Scenario corpus octant coverage", func() error { return printScenarioCoverage(*scenCov) })
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -136,6 +145,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printScenario replays one composed scenario under the adaptive
+// meta-partitioner and prints declared versus observed octants per phase.
+func printScenario(spec string) error {
+	res, err := experiments.ScenarioReplay(spec, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d snapshots, %d partitioner switches, simulated %.1fs\n",
+		res.Name, res.Snapshots, res.Switches, res.TotalTime)
+	fmt.Fprintf(out, "%-24s %-12s %-9s %-9s %s\n", "Phase", "Snapshots", "Declared", "Observed", "Selections")
+	for _, ph := range res.Phases {
+		names := make([]string, 0, len(ph.Partitioners))
+		for name := range ph.Partitioners {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sel := ""
+		for _, name := range names {
+			if sel != "" {
+				sel += " "
+			}
+			sel += fmt.Sprintf("%s:%d", name, ph.Partitioners[name])
+		}
+		fmt.Fprintf(out, "%-24s %3d-%-8d %-9s %-9s %s\n",
+			ph.Phase, ph.Start, ph.End-1, ph.Expected, ph.Observed, sel)
+	}
+	metric("snapshots", float64(res.Snapshots))
+	metric("switches", float64(res.Switches))
+	metric("total_s", res.TotalTime)
+	return nil
+}
+
+// printScenarioCoverage regenerates the EXPERIMENTS.md octant-coverage
+// table: a seeded corpus of composed scenarios replayed under the strict
+// Table-2 meta-partitioner, aggregated per octant.
+func printScenarioCoverage(n int) error {
+	res, err := experiments.ScenarioCoverage(1000, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "corpus: %d scenarios (seeds %d..%d), %d snapshots\n",
+		res.Scenarios, res.BaseSeed, res.BaseSeed+int64(res.Scenarios)-1, res.Snapshots)
+	fmt.Fprintf(out, "%-7s %-10s %-12s %-12s %s\n", "Octant", "Snapshots", "Recommended", "Conformance", "Selections")
+	for _, row := range res.Rows {
+		fmt.Fprintf(out, "%-7s %-10d %-12s %-12.3f %s\n",
+			row.Octant, row.Snapshots, row.Recommended, row.Conformance, row.TopSelections())
+		metric("octant_"+row.Octant+"_snapshots", float64(row.Snapshots))
+		metric("octant_"+row.Octant+"_conformance", row.Conformance)
+	}
+	metric("scenarios", float64(res.Scenarios))
+	metric("snapshots", float64(res.Snapshots))
+	return nil
 }
 
 // printKernel regenerates the EXPERIMENTS.md kernel table: before/after

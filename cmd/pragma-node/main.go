@@ -89,6 +89,7 @@ func main() {
 		// Trace replay with checkpoint/restart.
 		replay       = flag.Bool("replay", false, "replay an adaptation trace on a simulated machine")
 		traceName    = flag.String("trace", "small", "replay: RM3D trace configuration (small|paper)")
+		scenarioSpec = flag.String("scenario", "", "replay: composed scenario spec instead of the RM3D trace, e.g. \"seed=7;shock:8,block:6\" (see internal/scenario)")
 		strategyName = flag.String("strategy", "adaptive", "replay: adaptive|system-sensitive|proactive or a partitioner name (SFC, G-MISP+SP, ...)")
 		procs        = flag.Int("procs", 8, "replay: processor count")
 		ckptDir      = flag.String("checkpoint-dir", "", "replay: persist run state here at regrid boundaries")
@@ -166,7 +167,7 @@ func main() {
 	switch {
 	case *replay:
 		if err := runReplay(replayConfig{
-			trace: *traceName, strategy: *strategyName, procs: *procs,
+			trace: *traceName, scenario: *scenarioSpec, strategy: *strategyName, procs: *procs,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
 			resume: *resume, crashAt: *crashAt,
 			emulate: *emulate, stepDeadline: *stepDeadline,
@@ -223,6 +224,9 @@ func main() {
 // schedSpecBuilder maps /sched/submit parameters onto run specs:
 //
 //	trace=small|paper        adaptation trace (generated once, then cached)
+//	scenario=SPEC            composed scenario spec instead of trace=
+//	                         (internal/scenario grammar, cached per spec)
+//	seed=N                   scenario seed override (with scenario=)
 //	strategy=adaptive|...    strategy or partitioner name (default adaptive)
 //	procs=N                  processor count (default 8)
 //	name=NAME                run name; with -sched-checkpoint-root set, the
@@ -253,8 +257,39 @@ func schedSpecBuilder(ckptRoot string) pragma.SchedulerSpecBuilder {
 		traces[name] = tr
 		return tr, nil
 	}
+	getScenario := func(specStr, seedStr string) (*pragma.Trace, error) {
+		spec, err := pragma.ParseScenario(specStr)
+		if err != nil {
+			return nil, err
+		}
+		if seedStr != "" {
+			seed, err := strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed %q", seedStr)
+			}
+			spec.Seed = seed
+		}
+		key := fmt.Sprintf("scenario\x00%s\x00%d", specStr, spec.Seed)
+		mu.Lock()
+		defer mu.Unlock()
+		if tr, ok := traces[key]; ok {
+			return tr, nil
+		}
+		tr, err := pragma.GenerateScenario(spec)
+		if err != nil {
+			return nil, err
+		}
+		traces[key] = tr
+		return tr, nil
+	}
 	return func(tenant string, priority int, v url.Values) (pragma.SchedulerRunSpec, error) {
-		tr, err := getTrace(v.Get("trace"))
+		var tr *pragma.Trace
+		var err error
+		if specStr := v.Get("scenario"); specStr != "" {
+			tr, err = getScenario(specStr, v.Get("seed"))
+		} else {
+			tr, err = getTrace(v.Get("trace"))
+		}
 		if err != nil {
 			return pragma.SchedulerRunSpec{}, err
 		}
@@ -413,6 +448,7 @@ func runNode(ctx context.Context, addr, id string, base, wobble, overload float6
 
 type replayConfig struct {
 	trace, strategy     string
+	scenario            string
 	procs               int
 	ckptDir             string
 	ckptEvery, ckptKeep int
@@ -469,18 +505,44 @@ func strategyByName(name string) (pragma.Strategy, error) {
 }
 
 func runReplay(cfg replayConfig) error {
-	var rmCfg pragma.RM3DConfig
-	switch cfg.trace {
-	case "small":
-		rmCfg = pragma.RM3DSmall()
-	case "paper":
-		rmCfg = pragma.RM3DPaper()
-	default:
-		return fmt.Errorf("unknown trace %q (small|paper)", cfg.trace)
-	}
-	trace, err := pragma.GenerateRM3D(rmCfg)
-	if err != nil {
-		return err
+	var trace *pragma.Trace
+	var workModel func(idx int) pragma.WorkModel
+	traceLabel := cfg.trace
+	if cfg.scenario != "" {
+		spec, err := pragma.ParseScenario(cfg.scenario)
+		if err != nil {
+			return err
+		}
+		trace, err = pragma.GenerateScenario(spec)
+		if err != nil {
+			return err
+		}
+		workModel = spec.WorkModel
+		traceLabel = spec.Name
+		for _, exp := range spec.Trajectory() {
+			if exp.Known {
+				fmt.Printf("phase %s (snapshots %d-%d): expected octant %v\n",
+					exp.Phase, exp.Start, exp.End-1, exp.Octant)
+			} else {
+				fmt.Printf("phase %s (snapshots %d-%d): mixed signature\n",
+					exp.Phase, exp.Start, exp.End-1)
+			}
+		}
+	} else {
+		var rmCfg pragma.RM3DConfig
+		switch cfg.trace {
+		case "small":
+			rmCfg = pragma.RM3DSmall()
+		case "paper":
+			rmCfg = pragma.RM3DPaper()
+		default:
+			return fmt.Errorf("unknown trace %q (small|paper)", cfg.trace)
+		}
+		var err error
+		trace, err = pragma.GenerateRM3D(rmCfg)
+		if err != nil {
+			return err
+		}
 	}
 	strat, err := strategyByName(cfg.strategy)
 	if err != nil {
@@ -490,10 +552,11 @@ func runReplay(cfg replayConfig) error {
 		strat = crashingStrategy{inner: strat, fp: &chaos.FaultPoint{FailAt: cfg.crashAt}}
 	}
 	rt := pragma.Runtime{
-		Trace:    trace,
-		Machine:  pragma.NewCluster(cfg.procs),
-		Strategy: strat,
-		NProcs:   cfg.procs,
+		Trace:     trace,
+		Machine:   pragma.NewCluster(cfg.procs),
+		Strategy:  strat,
+		NProcs:    cfg.procs,
+		WorkModel: workModel,
 	}
 	var opts []pragma.RunOption
 	if cfg.ckptDir != "" {
@@ -507,10 +570,10 @@ func runReplay(cfg replayConfig) error {
 	}
 	if cfg.resume {
 		fmt.Printf("replaying %s trace (%d snapshots) with %s on %d procs, resuming from %s\n",
-			cfg.trace, len(trace.Snapshots), strat.Name(), cfg.procs, cfg.ckptDir)
+			traceLabel, len(trace.Snapshots), strat.Name(), cfg.procs, cfg.ckptDir)
 	} else {
 		fmt.Printf("replaying %s trace (%d snapshots) with %s on %d procs\n",
-			cfg.trace, len(trace.Snapshots), strat.Name(), cfg.procs)
+			traceLabel, len(trace.Snapshots), strat.Name(), cfg.procs)
 	}
 	res, err := rt.Execute(opts...)
 	if errors.Is(err, chaos.ErrInjectedCrash) {

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/core"
+	"github.com/pragma-grid/pragma/internal/octant"
+	"github.com/pragma-grid/pragma/internal/policy"
+	"github.com/pragma-grid/pragma/internal/scenario"
+)
+
+// This file backs pragma-bench's scenario modes: the octant-coverage table
+// of EXPERIMENTS.md (replaying a seeded scenario corpus and aggregating
+// which octants were visited and what the meta-partitioner selected) and
+// single-scenario replays for ad-hoc workloads.
+
+// CoverageRow aggregates one octant across the corpus replay.
+type CoverageRow struct {
+	// Octant is the octant name ("I".."VIII").
+	Octant string
+	// Snapshots is how many corpus snapshots classified into the octant.
+	Snapshots int
+	// Selected counts the meta-partitioner's selections at those
+	// snapshots, by partitioner name.
+	Selected map[string]int
+	// Recommended is Table 2's first recommendation for the octant.
+	Recommended string
+	// Conformance is the fraction of snapshots where the selection
+	// matched Recommended.
+	Conformance float64
+}
+
+// CoverageResult is the corpus-wide octant-coverage study.
+type CoverageResult struct {
+	Scenarios int
+	Snapshots int
+	BaseSeed  int64
+	Rows      []CoverageRow // all eight octants, in octant order
+}
+
+// ScenarioCoverage replays a corpus of n seed-derived scenarios (seeds
+// base..base+n-1) under the strict Table-2 meta-partitioner on an 8-node
+// machine and aggregates octant occupancy, partitioner selections, and
+// Table-2 conformance per octant — the data behind the EXPERIMENTS.md
+// octant-coverage table.
+func ScenarioCoverage(base int64, n int) (*CoverageResult, error) {
+	recs := policy.Table2Recommendations()
+	th := octant.DefaultThresholds()
+	meta := core.NewMetaPartitioner()
+	byOctant := map[octant.Octant]*CoverageRow{}
+	for o := octant.I; o <= octant.VIII; o++ {
+		byOctant[o] = &CoverageRow{
+			Octant:      o.String(),
+			Selected:    map[string]int{},
+			Recommended: recs[o.String()][0],
+		}
+	}
+	res := &CoverageResult{Scenarios: n, BaseSeed: base}
+	for _, spec := range scenario.Corpus(base, n) {
+		tr, err := spec.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		rr, err := core.Run(tr, core.Adaptive{}, core.RunConfig{
+			Machine:   cluster.SP2(8),
+			WorkModel: spec.WorkModel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		for _, stat := range rr.Snapshots {
+			state, err := octant.StateAt(tr, stat.Index, meta.Window)
+			if err != nil {
+				return nil, err
+			}
+			row := byOctant[octant.Classify(state, th)]
+			row.Snapshots++
+			row.Selected[stat.Partitioner]++
+			res.Snapshots++
+		}
+	}
+	for o := octant.I; o <= octant.VIII; o++ {
+		row := byOctant[o]
+		if row.Snapshots > 0 {
+			row.Conformance = float64(row.Selected[row.Recommended]) / float64(row.Snapshots)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// TopSelections renders the row's selection counts as "name:count" pairs,
+// most frequent first — stable for report output.
+func (r CoverageRow) TopSelections() string {
+	type kv struct {
+		name  string
+		count int
+	}
+	var kvs []kv
+	for name, c := range r.Selected {
+		kvs = append(kvs, kv{name, c})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].count != kvs[j].count {
+			return kvs[i].count > kvs[j].count
+		}
+		return kvs[i].name < kvs[j].name
+	})
+	s := ""
+	for i, e := range kvs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", e.name, e.count)
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// ScenarioPhaseReport is one phase of a replayed scenario: the declared
+// expectation against what the classifier and meta-partitioner did.
+type ScenarioPhaseReport struct {
+	Phase      string
+	Start, End int // snapshot range [Start, End)
+	// Expected is the declared octant name, "-" for mixed signatures.
+	Expected string
+	// Observed is the majority classified octant over the phase.
+	Observed string
+	// Partitioners counts selections within the phase.
+	Partitioners map[string]int
+}
+
+// ScenarioReplayResult is a single composed-scenario replay.
+type ScenarioReplayResult struct {
+	Name      string
+	Snapshots int
+	Switches  int
+	TotalTime float64
+	Phases    []ScenarioPhaseReport
+}
+
+// ScenarioReplay parses a scenario spec string, replays it under the
+// adaptive meta-partitioner on nprocs processors, and reports declared
+// versus observed octants per phase — pragma-bench's -scenario mode.
+func ScenarioReplay(specStr string, nprocs int) (*ScenarioReplayResult, error) {
+	spec, err := scenario.ParseSpec(specStr)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	rr, err := core.Run(tr, core.Adaptive{}, core.RunConfig{
+		Machine:   cluster.SP2(nprocs),
+		NProcs:    nprocs,
+		WorkModel: spec.WorkModel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	chars, err := octant.CharacterizeTrace(tr, octant.DefaultThresholds(), 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioReplayResult{
+		Name:      spec.Name,
+		Snapshots: len(tr.Snapshots),
+		Switches:  rr.Switches,
+		TotalTime: rr.TotalTime,
+	}
+	for _, exp := range spec.Trajectory() {
+		rep := ScenarioPhaseReport{
+			Phase: exp.Phase, Start: exp.Start, End: exp.End,
+			Expected:     "-",
+			Partitioners: map[string]int{},
+		}
+		if exp.Known {
+			rep.Expected = exp.Octant.String()
+		}
+		var votes [9]int
+		for i := exp.Start; i < exp.End && i < len(chars); i++ {
+			votes[chars[i].Octant]++
+			rep.Partitioners[rr.Snapshots[i].Partitioner]++
+		}
+		best := octant.I
+		for o := octant.I; o <= octant.VIII; o++ {
+			if votes[o] > votes[best] {
+				best = o
+			}
+		}
+		rep.Observed = best.String()
+		res.Phases = append(res.Phases, rep)
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package octant
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// This file holds the boundary-value property tests for octant
+// classification: behavior exactly at and ±ε around each axis threshold
+// must be stable and total, and degenerate inputs (NaN axes, zero-extent
+// refinement) must classify without panicking.
+
+// eps is well below any threshold scale but large enough to survive the
+// float64 arithmetic inside the classifier.
+const eps = 1e-9
+
+// TestClassifyBoundaryStability sweeps all 27 combinations of
+// {below, at, above} threshold across the three axes and checks the crisp
+// classifier lands in exactly the octant FromAxes predicts, with the
+// documented >=-at-threshold convention.
+func TestClassifyBoundaryStability(t *testing.T) {
+	th := DefaultThresholds()
+	offsets := []float64{-eps, 0, +eps}
+	for _, dd := range offsets {
+		for _, dc := range offsets {
+			for _, ds := range offsets {
+				s := State{
+					Dynamics:   th.Dynamics + dd,
+					CommRatio:  th.CommRatio + dc,
+					Dispersion: th.Dispersion + ds,
+				}
+				// At-threshold (offset 0) counts as the upper half-space.
+				want := FromAxes(dd >= 0, dc >= 0, ds >= 0)
+				got := Classify(s, th)
+				if got != want {
+					t.Errorf("offsets (%g,%g,%g): classified %v, want %v", dd, dc, ds, got, want)
+				}
+				// Stability: the same state classifies identically on
+				// repeated calls (the classifier is stateless).
+				if again := Classify(s, th); again != got {
+					t.Errorf("offsets (%g,%g,%g): classification flapped %v -> %v", dd, dc, ds, got, again)
+				}
+			}
+		}
+	}
+}
+
+// TestClassifyTotal checks totality over a degenerate-input grid: every
+// state — including zeros, negatives, infinities and NaN — classifies to
+// exactly one valid octant without panicking.
+func TestClassifyTotal(t *testing.T) {
+	th := DefaultThresholds()
+	values := []float64{math.NaN(), math.Inf(-1), -1, 0, eps, th.Dynamics, 0.5, 1, 100, math.Inf(1)}
+	for _, d := range values {
+		for _, c := range values {
+			for _, s := range values {
+				st := State{Dynamics: d, CommRatio: c, Dispersion: s}
+				o := Classify(st, th)
+				if !o.Valid() {
+					t.Fatalf("state %+v: invalid octant %v", st, o)
+				}
+			}
+		}
+	}
+	// NaN compares false on every axis, so it lands in the all-lower
+	// octant III deterministically.
+	nan := math.NaN()
+	if o := Classify(State{Dynamics: nan, CommRatio: nan, Dispersion: nan}, th); o != III {
+		t.Errorf("all-NaN state classified %v, want III", o)
+	}
+}
+
+// TestFuzzyMembershipAtBoundaries checks the fuzzy classifier near
+// thresholds: memberships stay normalized, Best returns a valid octant,
+// and exactly at a threshold corner the top two octants split the mass
+// (genuine ambiguity, which Ambiguous reports).
+func TestFuzzyMembershipAtBoundaries(t *testing.T) {
+	th := DefaultThresholds()
+	corner := State{Dynamics: th.Dynamics, CommRatio: th.CommRatio, Dispersion: th.Dispersion}
+	m := FuzzyClassify(corner, th, 0.25)
+	var sum float64
+	for o := I; o <= VIII; o++ {
+		v := m[o]
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("membership[%v] = %v out of range", o, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("memberships sum to %v", sum)
+	}
+	if o, v := m.Best(); !o.Valid() || v <= 0 {
+		t.Fatalf("Best() = %v, %v at corner", o, v)
+	} else if v > 0.5 {
+		t.Errorf("corner state should be ambiguous, best membership %v", v)
+	}
+	if !m.Ambiguous(0.5) {
+		t.Error("corner state not reported ambiguous at 0.5 dominance")
+	}
+
+	// ±ε around a single axis threshold must not flip Best discontinuously
+	// to a non-adjacent octant: the two candidates differ only on that
+	// axis.
+	for _, off := range []float64{-eps, +eps} {
+		s := State{Dynamics: 0.01, CommRatio: th.CommRatio + off, Dispersion: 0.01}
+		o, _ := FuzzyClassify(s, th, 0.25).Best()
+		if o != I && o != III {
+			t.Errorf("CommRatio %+g: Best() = %v, want I or III", off, o)
+		}
+	}
+}
+
+// TestFuzzyClassifyDegenerateInputs checks the fuzzy path never panics on
+// NaN or off-scale states and that Best stays total.
+func TestFuzzyClassifyDegenerateInputs(t *testing.T) {
+	th := DefaultThresholds()
+	nan := math.NaN()
+	for _, s := range []State{
+		{Dynamics: nan, CommRatio: nan, Dispersion: nan},
+		{Dynamics: nan, CommRatio: 0.6, Dispersion: 0.1},
+		{Dynamics: math.Inf(1), CommRatio: math.Inf(-1), Dispersion: 0},
+		{},
+	} {
+		m := FuzzyClassify(s, th, 0.25)
+		if len(m) != 8 {
+			t.Fatalf("state %+v: %d memberships", s, len(m))
+		}
+		if o, _ := m.Best(); !o.Valid() {
+			t.Fatalf("state %+v: Best() invalid octant %v", s, o)
+		}
+	}
+	// Zero thresholds exercise the width fallback (softness*threshold = 0).
+	m := FuzzyClassify(State{Dynamics: 0.1}, Thresholds{}, 0.25)
+	if o, _ := m.Best(); !o.Valid() {
+		t.Fatalf("zero-threshold Best() invalid octant %v", o)
+	}
+}
+
+// TestStateAtZeroExtentRefinement checks the measurement path on traces
+// whose hierarchies have no refined region at all: metrics degrade to
+// zeros (no division-by-zero panic) and classification stays total.
+func TestStateAtZeroExtentRefinement(t *testing.T) {
+	mk := func() *samr.Hierarchy {
+		h, err := samr.NewHierarchy(samr.MakeBox(16, 16, 16), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	tr := &samr.Trace{Name: "empty", RegridEvery: 4}
+	for i := 0; i < 3; i++ {
+		tr.Snapshots = append(tr.Snapshots, samr.Snapshot{Index: i, H: mk()})
+	}
+	s, err := StateAt(tr, 2, 3)
+	if err != nil {
+		t.Fatalf("StateAt on empty refinement: %v", err)
+	}
+	if s.Dynamics != 0 || s.CommRatio != 0 || s.Dispersion != 0 {
+		t.Errorf("empty refinement state %+v, want zeros", s)
+	}
+	if o := Classify(s, DefaultThresholds()); o != III {
+		t.Errorf("empty refinement classified %v, want III", o)
+	}
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pragma-grid/pragma/internal/octant"
+)
+
+// This file generates the randomized scenario corpus the property harness
+// replays against core.Run. Corpus specs are built only from the canonical
+// octant witnesses, so every phase carries a known expected octant and the
+// harness can check meta-partitioner selections against Table 2 without
+// re-deriving ground truth.
+
+// RandomSpec derives a scenario deterministically from seed: one to three
+// phases, each the canonical witness of a random octant, on the Default()
+// envelope. Equal seeds produce identical specs, so a corpus member is
+// fully identified by its seed.
+func RandomSpec(seed int64) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	spec := Default()
+	spec.Seed = seed
+	spec.Name = fmt.Sprintf("corpus-%d", seed)
+	nPhases := 1 + rng.Intn(3)
+	spec.Phases = make([]Phase, 0, nPhases)
+	for i := 0; i < nPhases; i++ {
+		o := octant.Octant(1 + rng.Intn(8))
+		// Warmup plus enough snapshots for the windowed classifier to
+		// settle inside the phase.
+		spec.Phases = append(spec.Phases, Phase{
+			Snapshots: 6 + rng.Intn(5),
+			Drivers:   []Driver{ForOctant(o)},
+			Expect:    o,
+		})
+	}
+	return spec
+}
+
+// Corpus returns n corpus specs with consecutive seeds starting at base.
+func Corpus(base int64, n int) []Spec {
+	out := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, RandomSpec(base+int64(i)))
+	}
+	return out
+}

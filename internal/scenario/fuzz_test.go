@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+	"github.com/pragma-grid/pragma/internal/core"
+)
+
+// FuzzScenarioRun feeds mutated scenario specs through the full
+// generate-and-replay path — ParseSpec, trace generation, octant
+// classification and meta-partitioned core.Run — asserting it never
+// panics and that accepted specs replay cleanly. Run under -race this is
+// the systematic probe of the decision core the ISSUE asks for; CI runs
+// the seed corpus on every push and a short mutation smoke.
+func FuzzScenarioRun(f *testing.F) {
+	f.Add("shock:6", int64(1), uint8(8))
+	f.Add("dims=32x16x16;seed=5;sheet:4,block:4", int64(2), uint8(4))
+	f.Add("merge:10", int64(3), uint8(6))
+	f.Add("I:4,V:4,III:4", int64(4), uint8(5))
+	f.Add("sheets6.high+bg3:5,blobs4:5", int64(5), uint8(7))
+	f.Add("point.high:6,point:4", int64(6), uint8(3))
+	f.Add("dims=24x24x24;regrid=2;depth=2;blobs2.high:6", int64(7), uint8(2))
+	f.Fuzz(func(t *testing.T, specStr string, seed int64, procs uint8) {
+		spec, err := ParseSpec(specStr)
+		if err != nil {
+			t.Skip()
+		}
+		spec.Seed = seed
+		// Bound the work per input: the grammar admits long phase lists
+		// and big grids that are valid but too slow to fuzz.
+		if spec.TotalSnapshots() > 48 {
+			t.Skip()
+		}
+		if n := spec.BaseDims[0] * spec.BaseDims[1] * spec.BaseDims[2]; n > 64*32*32 {
+			t.Skip()
+		}
+		tr, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("accepted spec %q failed to generate: %v", specStr, err)
+		}
+		np := 1 + int(procs)%16
+		res, err := core.Run(tr, core.Adaptive{}, core.RunConfig{
+			Machine:   cluster.SP2(np),
+			NProcs:    np,
+			WorkModel: spec.WorkModel,
+		})
+		if err != nil {
+			t.Fatalf("spec %q: run failed: %v", specStr, err)
+		}
+		if res.Steps != spec.TotalSnapshots()*spec.RegridEvery {
+			t.Fatalf("spec %q: %d steps for %d snapshots every %d",
+				specStr, res.Steps, spec.TotalSnapshots(), spec.RegridEvery)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoPackageLevelRandomness enforces the seed-explicit contract
+// syntactically: the trace-generating packages may only construct their
+// own rand.Rand from an explicit seed (rand.New, rand.NewSource) — any
+// call through math/rand's package-level convenience functions (rand.Intn,
+// rand.Float64, rand.Seed, ...) would consult hidden global state and
+// break bit-identical regeneration.
+func TestNoPackageLevelRandomness(t *testing.T) {
+	// Identifiers legitimately selected from the rand package: explicit
+	// generator construction and type names.
+	allowed := map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
+	for _, dir := range []string{".", "../rm3d"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for path, file := range pkg.Files {
+				if strings.HasSuffix(path, "_test.go") {
+					continue
+				}
+				// Find the local name math/rand is imported under.
+				randName := ""
+				for _, imp := range file.Imports {
+					if strings.Trim(imp.Path.Value, `"`) == "math/rand" {
+						randName = "rand"
+						if imp.Name != nil {
+							randName = imp.Name.Name
+						}
+					}
+				}
+				if randName == "" || randName == "_" {
+					continue
+				}
+				ast.Inspect(file, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || id.Name != randName || allowed[sel.Sel.Name] {
+						return true
+					}
+					t.Errorf("%s: %s.%s uses package-level math/rand state",
+						filepath.Join(dir, filepath.Base(path)), randName, sel.Sel.Name)
+					return true
+				})
+			}
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/policy"
 	"github.com/pragma-grid/pragma/internal/rm3d"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/scenario"
 	"github.com/pragma-grid/pragma/internal/sched"
 	"github.com/pragma-grid/pragma/internal/telemetry"
 )
@@ -199,6 +200,59 @@ func GenerateRM3D(cfg RM3DConfig) (*Trace, error) { return rm3d.GenerateTrace(cf
 // RenderProfile renders a snapshot's refinement structure as ASCII art
 // (the content of the paper's Fig. 3).
 func RenderProfile(s Snapshot) string { return rm3d.Profile(s) }
+
+// Scenario aliases. The implementation lives in internal/scenario; see
+// DESIGN.md §13 for the driver library and the octant-signature contract.
+type (
+	// ScenarioSpec is a composed synthetic workload: a grid envelope plus
+	// a phase script of refinement drivers, generating a Trace exactly
+	// like GenerateRM3D does.
+	ScenarioSpec = scenario.Spec
+	// ScenarioPhase is one segment of a scenario: a driver mix active for
+	// a number of regrid snapshots, with a declared expected octant.
+	ScenarioPhase = scenario.Phase
+	// ScenarioDriver is one phenomenon ingredient (moving shock, point
+	// source, merging fronts, scattered activity, background noise).
+	ScenarioDriver = scenario.Driver
+	// ScenarioSignature is the octant signature a driver declares.
+	ScenarioSignature = scenario.Signature
+	// ScenarioActivity is a driver's dynamics dial (ScenarioLow/High).
+	ScenarioActivity = scenario.Activity
+)
+
+// Scenario activity dials.
+const (
+	ScenarioLow  = scenario.Low
+	ScenarioHigh = scenario.High
+)
+
+// DefaultScenario returns the standard scenario envelope (48x24x24 base
+// grid, 3 levels, regrid every 4 steps); attach phases and a seed.
+func DefaultScenario() ScenarioSpec { return scenario.Default() }
+
+// ParseScenario parses the compact scenario grammar, e.g.
+// "dims=48x24x24;seed=7;shock:8,block:6,I:4" — see internal/scenario's
+// ParseSpec for the full grammar. The same strings drive the -scenario
+// flags of pragma-node and pragma-bench.
+func ParseScenario(s string) (ScenarioSpec, error) { return scenario.ParseSpec(s) }
+
+// GenerateScenario produces the adaptation trace of a composed scenario.
+func GenerateScenario(spec ScenarioSpec) (*Trace, error) { return spec.Generate() }
+
+// ScenarioForOctant returns the canonical driver engineered to occupy the
+// given octant — every octant I-VIII has one.
+func ScenarioForOctant(o Octant) ScenarioDriver { return scenario.ForOctant(o) }
+
+// Scenario driver constructors, re-exported from internal/scenario.
+var (
+	ScenarioSheet         = scenario.Sheet
+	ScenarioSheetField    = scenario.SheetField
+	ScenarioBlock         = scenario.Block
+	ScenarioBlobField     = scenario.BlobField
+	ScenarioPointSource   = scenario.PointSource
+	ScenarioMergingFronts = scenario.MergingFronts
+	ScenarioBackground    = scenario.Background
+)
 
 // AstroConfig parameterizes the galaxy-formation and supernova application
 // models (the other two driver applications of the paper's §2).
