@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-scenario vet bench bench-telemetry bench-pac bench-sched bench-gate bench-baseline experiments ablations extensions fmt cover clean
+.PHONY: build test test-short test-scenario test-fleet fleet-smoke vet bench bench-telemetry bench-pac bench-sched bench-gate bench-baseline experiments ablations extensions fmt cover clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ test-scenario:
 	$(GO) test -race ./internal/scenario/ ./internal/octant/
 	$(GO) test -race -run 'TestScenario|ExampleParseScenario|ExampleScenarioForOctant' ./internal/experiments/ .
 	$(GO) test ./internal/scenario/ -fuzz=FuzzScenarioRun -fuzztime=10s -run='^$$'
+
+# Fleet router/worker suite under the race detector, repeated to shake
+# out placement/failover orderings.
+test-fleet:
+	$(GO) test -race ./internal/fleet/ -count=3
+
+# Multi-process failover rehearsal: 1 router + 3 workers over TCP,
+# SIGKILL one worker mid-run, every run must still complete.
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 # One timed regeneration of every table, figure and ablation.
 bench:

@@ -34,6 +34,18 @@
 //
 // On SIGINT the scheduler drains gracefully: in-flight runs checkpoint at
 // their next regrid boundary and report as resumable.
+//
+// A fifth mode federates several pragma-node processes into a fleet: one
+// router owning the message center and the fleet-wide /sched/ API, and any
+// number of workers executing the runs it dispatches. Runs checkpoint
+// under the shared root, so a killed worker's runs resume on survivors:
+//
+//	pragma-node -serve 127.0.0.1:7070 -fleet -telemetry-addr 127.0.0.1:9090 \
+//	    -fleet-checkpoint-root ./fleet-runs
+//	pragma-node -join 127.0.0.1:7070 -worker -id w1
+//	pragma-node -join 127.0.0.1:7070 -worker -id w2
+//	curl -X POST 'http://127.0.0.1:9090/sched/submit?tenant=acme&trace=small'
+//	curl http://127.0.0.1:9090/sched/fleet
 package main
 
 import (
@@ -49,11 +61,13 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/pragma-grid/pragma"
 	"github.com/pragma-grid/pragma/internal/chaos"
 	"github.com/pragma-grid/pragma/internal/core"
+	"github.com/pragma-grid/pragma/internal/fleet"
 	"github.com/pragma-grid/pragma/internal/partition"
 	"github.com/pragma-grid/pragma/internal/telemetry"
 )
@@ -79,6 +93,12 @@ func main() {
 		schedTenantLimit = flag.Int("sched-tenant-limit", 8, "scheduler: max queued+running runs per tenant (0 = unlimited)")
 		schedCkptRoot    = flag.String("sched-checkpoint-root", "", "scheduler: checkpoint named runs under <root>/<tenant>/<name> so drained runs are resumable")
 		schedDrain       = flag.Duration("sched-drain-timeout", time.Minute, "scheduler: how long shutdown waits for in-flight runs to reach a regrid boundary")
+
+		// Fleet: shard runs across pragma-node worker processes.
+		fleetMode     = flag.Bool("fleet", false, "with -serve: run the fleet router on the message center; /sched/ becomes fleet-wide (requires -telemetry-addr)")
+		workerMode    = flag.Bool("worker", false, "with -join: execute fleet runs dispatched by a -fleet router")
+		workerSlots   = flag.Int("worker-slots", 2, "worker: concurrent run slots advertised to the router")
+		fleetCkptRoot = flag.String("fleet-checkpoint-root", "", "router: default submitted runs to checkpoint under <root>/<run-id> (shared storage) so failover can resume them")
 
 		// Robustness knobs.
 		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "broker: evict clients silent this long (0 disables; with -serve)")
@@ -110,7 +130,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what container orchestrators send first; treat it exactly
+	// like Ctrl-C so both paths end in a graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *runFor > 0 {
 		var cancel context.CancelFunc
@@ -123,6 +145,9 @@ func main() {
 		if *telemetryAddr == "" {
 			fail(errors.New("-sched needs -telemetry-addr to serve its endpoints on"))
 		}
+		if *fleetMode {
+			fail(errors.New("-sched and -fleet both own /sched/; pick one"))
+		}
 		scheduler = pragma.NewScheduler(pragma.SchedulerConfig{
 			Workers:     *schedWorkers,
 			QueueLimit:  *schedQueue,
@@ -130,11 +155,70 @@ func main() {
 		})
 	}
 
+	// readiness aggregates the drain signals of whatever subsystems this
+	// process runs; /readyz flips to 503 as soon as any of them starts
+	// draining, while /healthz stays 200 (the process is alive, just not
+	// accepting new work).
+	readiness := &readyChecks{}
+
+	var fleetRouter *fleet.Router
+	if *fleetMode {
+		if *serve == "" {
+			fail(errors.New("-fleet needs -serve (the router owns the message center)"))
+		}
+		if *telemetryAddr == "" {
+			fail(errors.New("-fleet needs -telemetry-addr to serve /sched/ on"))
+		}
+		center := pragma.NewMessageCenter(
+			pragma.WithHeartbeatTimeout(*hbTimeout),
+			pragma.WithCenterWriteTimeout(*wTimeout),
+			pragma.WithCenterErrorHandler(func(err error) {
+				fmt.Fprintf(os.Stderr, "broker: %v\n", err)
+			}))
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fail(err)
+		}
+		defer ln.Close()
+		pragma.RegisterQueueDepthGauge(center)
+		go center.Serve(ln)
+		fmt.Printf("message center listening on %s\n", ln.Addr())
+		fleetRouter, err = fleet.NewRouter(fleet.Config{
+			Port:             center,
+			HeartbeatTimeout: *hbTimeout,
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		fleetRouter.AttachCenter(center)
+		readiness.add(func() error {
+			if fleetRouter.Draining() {
+				return errors.New("fleet draining")
+			}
+			return nil
+		})
+	}
+	if scheduler != nil {
+		readiness.add(func() error {
+			if scheduler.Draining() {
+				return errors.New("scheduler draining")
+			}
+			return nil
+		})
+	}
+
 	var tsrv *pragma.TelemetryServer
 	if *telemetryAddr != "" {
 		mux := telemetry.NewHandler(telemetry.Default, telemetry.DefaultTracer, nil)
+		telemetry.HandleReadiness(mux, readiness.check)
 		if scheduler != nil {
 			mux.Handle("/sched/", pragma.NewSchedulerHandler(scheduler, schedSpecBuilder(*schedCkptRoot)))
+		}
+		if fleetRouter != nil {
+			mux.Handle("/sched/", fleet.Handler(fleetRouter, *fleetCkptRoot))
 		}
 		var err error
 		tsrv, err = telemetry.ServeHandler(*telemetryAddr, mux)
@@ -145,6 +229,9 @@ func main() {
 		fmt.Printf("telemetry on http://%s/metrics\n", tsrv.Addr())
 		if scheduler != nil {
 			fmt.Printf("scheduler serving %d workers on http://%s/sched/\n", *schedWorkers, tsrv.Addr())
+		}
+		if fleetRouter != nil {
+			fmt.Printf("fleet router serving on http://%s/sched/\n", tsrv.Addr())
 		}
 	}
 	if scheduler != nil {
@@ -181,8 +268,36 @@ func main() {
 			case <-time.After(*telemetryHold):
 			}
 		}
+	case fleetRouter != nil:
+		// The message center and /sched/ endpoints are live; block until
+		// interrupted or a remote POST /sched/drain completes, then drain
+		// whatever is still in flight.
+		fmt.Println("fleet router ready; join workers with -join ADDR -worker")
+		select {
+		case <-ctx.Done():
+		case <-fleetRouter.Stopped():
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), *schedDrain)
+		if err := fleetRouter.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pragma-node: fleet drain: %v\n", err)
+		}
+		cancel()
+		st := fleetRouter.Stats()
+		fmt.Printf("fleet drained: %d done, %d drained (resumable), %d cancelled, %d failed, %d failovers\n",
+			st.Done, st.Drained, st.Cancelled, st.Failed, st.Failovers)
 	case *serve != "":
 		if err := runBroker(ctx, *serve, *interval, *hbTimeout, *wTimeout); err != nil {
+			fail(err)
+		}
+	case *join != "" && *workerMode:
+		dialOpts := []pragma.DialOption{
+			pragma.WithReconnect(*reconnect),
+			pragma.WithHeartbeat(*heartbeat),
+			pragma.WithErrorHandler(func(err error) {
+				fmt.Fprintf(os.Stderr, "[%s] link: %v\n", *id, err)
+			}),
+		}
+		if err := runFleetWorker(ctx, *join, *id, *workerSlots, *heartbeat, *schedDrain, readiness, dialOpts); err != nil {
 			fail(err)
 		}
 	case *join != "":
@@ -219,6 +334,72 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// readyChecks aggregates per-subsystem readiness probes for /readyz.
+// Checks can be added after the HTTP server is already serving (the fleet
+// worker joins late), hence the lock.
+type readyChecks struct {
+	mu     sync.Mutex
+	checks []func() error
+}
+
+func (r *readyChecks) add(fn func() error) {
+	r.mu.Lock()
+	r.checks = append(r.checks, fn)
+	r.mu.Unlock()
+}
+
+func (r *readyChecks) check() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fn := range r.checks {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFleetWorker joins the control network as a fleet worker: it executes
+// runs the router dispatches until interrupted, the router drains it, or
+// its link is lost for good.
+func runFleetWorker(ctx context.Context, addr, id string, slots int, heartbeat, drainTimeout time.Duration, readiness *readyChecks, dialOpts []pragma.DialOption) error {
+	client, err := pragma.DialMessageCenter(addr, dialOpts...)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	worker, err := fleet.NewWorker(fleet.WorkerConfig{
+		Port:           client,
+		ID:             id,
+		Slots:          slots,
+		HeartbeatEvery: heartbeat,
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "[%s] fleet: %v\n", id, err)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	readiness.add(func() error {
+		if worker.Draining() {
+			return errors.New("worker draining")
+		}
+		return nil
+	})
+	fmt.Printf("fleet worker %s joined %s (%d slots)\n", id, addr, slots)
+	select {
+	case <-ctx.Done():
+	case <-worker.Stopped():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := worker.Drain(dctx); err != nil {
+		return fmt.Errorf("worker drain: %w", err)
+	}
+	fmt.Printf("fleet worker %s drained\n", id)
+	return nil
 }
 
 // schedSpecBuilder maps /sched/submit parameters onto run specs:

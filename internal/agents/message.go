@@ -76,6 +76,11 @@ type Center struct {
 	heartbeatTimeout time.Duration
 	writeTimeout     time.Duration
 	onError          func(error)
+
+	// onDisconnect, when set, is told which remote ports vanished when a
+	// TCP client's connection tore down (eviction, link loss, or clean
+	// close). Settable after construction — see OnDisconnect.
+	onDisconnect func(ports []string)
 }
 
 // CenterOption configures the Message Center's wire behavior.
@@ -119,6 +124,18 @@ func (c *Center) reportErr(err error) {
 	if c.onError != nil {
 		c.onError(err)
 	}
+}
+
+// OnDisconnect installs a handler invoked with the remote port names
+// reclaimed when a TCP client's connection tears down — broker-side
+// eviction for heartbeat silence, link loss, or a clean close. The fleet
+// router uses it to begin failover the moment a worker's link dies instead
+// of waiting out its own heartbeat window. The handler runs on connection
+// handler goroutines and must not block; nil removes it.
+func (c *Center) OnDisconnect(fn func(ports []string)) {
+	c.mu.Lock()
+	c.onDisconnect = fn
+	c.mu.Unlock()
 }
 
 // Register implements Port.

@@ -134,13 +134,19 @@ func (c *Center) handle(wc *wireConn) {
 	defer func() {
 		conn.Close()
 		c.mu.Lock()
+		lost := make([]string, 0, len(owned))
 		for port := range owned {
 			delete(c.remote, port)
 			for _, subscribers := range c.subs {
 				delete(subscribers, port)
 			}
+			lost = append(lost, port)
 		}
+		onDisconnect := c.onDisconnect
 		c.mu.Unlock()
+		if onDisconnect != nil && len(lost) > 0 {
+			onDisconnect(lost)
+		}
 	}()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	for {

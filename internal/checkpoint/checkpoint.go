@@ -250,10 +250,3 @@ func (s *Store) Latest(accept func(seq int, payload []byte) error) (int, []byte,
 	}
 	return 0, nil, ErrNoCheckpoint
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

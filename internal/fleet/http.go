@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Handler exposes the router over HTTP with the same /sched/* shape the
+// single-node scheduler serves, so clients need not care whether they are
+// talking to one node or a fleet:
+//
+//	POST /sched/submit?tenant=T&priority=N&...  admit a run fleet-wide
+//	GET  /sched/status?id=fleet-000001          one run's status
+//	GET  /sched/runs                            every retained run record
+//	GET  /sched/stats                           aggregate fleet state
+//	POST /sched/drain                           drain the whole fleet
+//	GET  /sched/fleet                           per-worker placement view
+//
+// Submit's spec parameters are WireSpec fields (trace, scenario, seed,
+// strategy, procs, checkpoint, checkpoint-every, checkpoint-keep, resume,
+// regrid-delay-ms). checkpointRoot, when non-empty, gives runs submitted
+// without an explicit checkpoint dir one under it — keyed by run ID — so
+// every fleet run is failover-capable by default.
+func Handler(r *Router, checkpointRoot string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sched/submit", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		v := req.URL.Query()
+		tenant := v.Get("tenant")
+		priority := 0
+		if p := v.Get("priority"); p != "" {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad priority: "+err.Error())
+				return
+			}
+			priority = n
+		}
+		spec, err := SpecFromValues(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err := r.SubmitWithRoot(SubmitRequest{Tenant: tenant, Priority: priority, Spec: spec}, checkpointRoot)
+		switch {
+		case errors.Is(err, ErrSaturated):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+	mux.HandleFunc("/sched/status", func(w http.ResponseWriter, req *http.Request) {
+		st, ok := r.Status(req.URL.Query().Get("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown run id")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/sched/runs", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Runs())
+	})
+	mux.HandleFunc("/sched/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Stats())
+	})
+	mux.HandleFunc("/sched/drain", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if err := r.Drain(req.Context()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, r.Stats())
+	})
+	mux.HandleFunc("/sched/fleet", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Workers []WorkerInfo `json:"workers"`
+			Stats   Stats        `json:"stats"`
+		}{r.Workers(), r.Stats()})
+	})
+	return mux
+}
+
+// SubmitWithRoot admits a run like Submit, additionally defaulting its
+// checkpoint directory to <root>/<run-id> when the spec has none and root
+// is non-empty — the run ID is path-sanitized first.
+func (r *Router) SubmitWithRoot(req SubmitRequest, root string) (RunStatus, error) {
+	return r.submit(req, root)
+}
+
+// SpecFromValues parses WireSpec fields out of URL query parameters — the
+// /sched/submit wire format.
+func SpecFromValues(v url.Values) (WireSpec, error) {
+	ws := WireSpec{
+		Trace:    v.Get("trace"),
+		Scenario: v.Get("scenario"),
+		Strategy: v.Get("strategy"),
+	}
+	if ws.Trace != "" && ws.Scenario != "" {
+		return WireSpec{}, fmt.Errorf("fleet: trace and scenario are mutually exclusive")
+	}
+	intField := func(name string, dst *int) error {
+		if s := v.Get(name); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("fleet: bad %s: %w", name, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := intField("procs", &ws.Procs); err != nil {
+		return WireSpec{}, err
+	}
+	if err := intField("checkpoint-every", &ws.CheckpointEvery); err != nil {
+		return WireSpec{}, err
+	}
+	if err := intField("checkpoint-keep", &ws.CheckpointKeep); err != nil {
+		return WireSpec{}, err
+	}
+	if err := intField("regrid-delay-ms", &ws.RegridDelayMS); err != nil {
+		return WireSpec{}, err
+	}
+	if s := v.Get("seed"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return WireSpec{}, fmt.Errorf("fleet: bad seed: %w", err)
+		}
+		ws.Seed, ws.SeedSet = n, true
+	}
+	if s := v.Get("checkpoint"); s != "" {
+		ws.CheckpointDir = s
+	}
+	if s := v.Get("resume"); s != "" {
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return WireSpec{}, fmt.Errorf("fleet: bad resume: %w", err)
+		}
+		ws.Resume = b
+	}
+	return ws, nil
+}
+
+// safePathComponent strips anything that could escape the checkpoint root
+// out of a run ID used as a directory name.
+func safePathComponent(s string) string {
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	if s == "" {
+		s = "run"
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

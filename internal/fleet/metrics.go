@@ -1,0 +1,52 @@
+package fleet
+
+import "github.com/pragma-grid/pragma/internal/telemetry"
+
+// Fleet instrumentation. Placement verdicts and failovers are the signals
+// an operator watches during an incident: dispatch verdicts say whether
+// the fleet is accepting work, evictions+failovers say it is losing
+// members, and local fallbacks say the router is riding out a partition on
+// its own. All counters are far off the run hot path.
+var (
+	metricWorkers = telemetry.Default.Gauge(
+		"pragma_fleet_workers",
+		"Workers currently registered and not evicted.")
+	metricReachableWorkers = telemetry.Default.Gauge(
+		"pragma_fleet_reachable_workers",
+		"Workers with a fresh heartbeat, a closed breaker and free slots.")
+	metricDispatches = telemetry.Default.CounterVec(
+		"pragma_fleet_dispatches_total",
+		"Dispatch attempts by verdict: ok, rejected (worker refused), timeout (ack deadline), send_error.",
+		"verdict")
+	metricRetries = telemetry.Default.Counter(
+		"pragma_fleet_dispatch_retries_total",
+		"Dispatch attempts beyond each placement's first.")
+	metricFailovers = telemetry.Default.Counter(
+		"pragma_fleet_failovers_total",
+		"Runs re-placed after their worker was lost mid-run.")
+	metricEvictions = telemetry.Default.Counter(
+		"pragma_fleet_evictions_total",
+		"Workers evicted for heartbeat silence or link teardown.")
+	metricLocalFallbacks = telemetry.Default.Counter(
+		"pragma_fleet_local_fallbacks_total",
+		"Runs degraded to local in-process execution because no worker was placeable.")
+	metricBreakerOpens = telemetry.Default.Counter(
+		"pragma_fleet_breaker_opens_total",
+		"Per-worker circuit breakers tripped open by consecutive dispatch failures.")
+	metricHeartbeats = telemetry.Default.Counter(
+		"pragma_fleet_heartbeats_total",
+		"Worker capacity heartbeats absorbed by the router.")
+	metricRunsTotal = telemetry.Default.CounterVec(
+		"pragma_fleet_runs_total",
+		"Fleet runs reaching a terminal state, by outcome.",
+		"outcome")
+	metricPlacementSeconds = telemetry.Default.Histogram(
+		"pragma_fleet_placement_seconds",
+		"Wall-clock time from submission to a successful placement (remote ack or local admission).",
+		[]float64{.001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30})
+
+	dispatchOK       = metricDispatches.With("ok")
+	dispatchRejected = metricDispatches.With("rejected")
+	dispatchTimeout  = metricDispatches.With("timeout")
+	dispatchSendErr  = metricDispatches.With("send_error")
+)

@@ -1,0 +1,127 @@
+// Package fleet is Pragma's federated control plane: a router that shards
+// submitted runs across many pragma-node worker processes over the agents
+// TCP control network, and the worker that executes its share.
+//
+// The paper manages one application per runtime; ROADMAP's next scale jump
+// is the layer grid schedulers put *between* the submission API and the
+// per-process run schedulers: capacity-aware placement across machines.
+// Workers advertise forecast capacity in heartbeats (the Fig. 4 relative
+// capacity math, applied to fleet placement instead of intra-run
+// partitioning); the router places each run on the worker with the most
+// predicted headroom, guarded by per-worker circuit breakers, bounded
+// retries with exponential backoff + jitter, and per-dispatch deadlines.
+//
+// The robustness core is failover: when a worker goes silent past the
+// heartbeat window, or its link tears down, every run placed on it is
+// resumed on a surviving worker from its latest CRC-verified checkpoint
+// (internal/checkpoint guarantees bit-identical resume), and when zero
+// workers are reachable the router degrades to executing runs in-process.
+// See DESIGN.md §14 for the failure model and failover sequence.
+package fleet
+
+import (
+	"github.com/pragma-grid/pragma/internal/agents"
+	"github.com/pragma-grid/pragma/internal/core"
+)
+
+// RouterPort is the mailbox the router registers on the Message Center.
+// Workers address all their traffic to it.
+const RouterPort = "pragma/fleet/router"
+
+// workerPortPrefix prefixes every worker mailbox, so the router can
+// recognize worker ports in the Center's disconnect notifications.
+const workerPortPrefix = "pragma/fleet/worker/"
+
+// WorkerPort returns the mailbox name a worker with the given identity
+// registers.
+func WorkerPort(id string) string { return workerPortPrefix + id }
+
+// Message kinds of the fleet protocol. All payloads are JSON, carried in
+// agents.Message over the existing control network — the fleet adds no
+// second wire protocol.
+const (
+	// KindHello announces a worker to the router (worker → router).
+	KindHello = "fleet.hello"
+	// KindHeartbeat carries a worker's forecast capacity reading
+	// (worker → router, periodic).
+	KindHeartbeat = "fleet.heartbeat"
+	// KindDispatch places one run on a worker (router → worker).
+	KindDispatch = "fleet.dispatch"
+	// KindAck answers a dispatch with the worker's admission verdict
+	// (worker → router).
+	KindAck = "fleet.ack"
+	// KindResult reports a run's terminal state (worker → router).
+	KindResult = "fleet.result"
+	// KindDrain asks a worker to drain gracefully (router → worker).
+	KindDrain = "fleet.drain"
+	// KindBye announces a worker's graceful departure (worker → router).
+	KindBye = "fleet.bye"
+)
+
+// helloMsg is KindHello's payload.
+type helloMsg struct {
+	ID    string `json:"id"`
+	Slots int    `json:"slots"`
+	// MemoryMB and BandwidthMBps are the worker's advertised static
+	// resources, the non-CPU terms of the Fig. 4 capacity formula.
+	MemoryMB      float64 `json:"memoryMB"`
+	BandwidthMBps float64 `json:"bandwidthMBps"`
+}
+
+// heartbeatMsg is KindHeartbeat's payload: one capacity advertisement.
+type heartbeatMsg struct {
+	ID  string `json:"id"`
+	Seq int    `json:"seq"`
+	// CPU is the forecast available-CPU fraction in [0, 1] from the
+	// worker's AvailabilityForecaster.
+	CPU float64 `json:"cpu"`
+	// Active is the worker's queued-plus-running run count; Slots its pool
+	// size. The router places only where Active < Slots.
+	Active        int     `json:"active"`
+	Slots         int     `json:"slots"`
+	MemoryMB      float64 `json:"memoryMB"`
+	BandwidthMBps float64 `json:"bandwidthMBps"`
+}
+
+// dispatchMsg is KindDispatch's payload: one placement attempt.
+type dispatchMsg struct {
+	RunID string `json:"runID"`
+	// Attempt numbers the run's placement attempts; acks and results
+	// carrying a stale attempt are ignored, so a zombie worker that
+	// reconnects after eviction cannot corrupt the record of the failover
+	// that superseded it.
+	Attempt int      `json:"attempt"`
+	Tenant  string   `json:"tenant,omitempty"`
+	Spec    WireSpec `json:"spec"`
+}
+
+// ackMsg is KindAck's payload: the worker's admission verdict for one
+// dispatch.
+type ackMsg struct {
+	RunID   string `json:"runID"`
+	Attempt int    `json:"attempt"`
+	Err     string `json:"err,omitempty"`
+}
+
+// resultMsg is KindResult's payload: one run's terminal state on a worker.
+type resultMsg struct {
+	RunID   string `json:"runID"`
+	Attempt int    `json:"attempt"`
+	// State is the worker-side outcome: done, failed or drained
+	// (sched.State values).
+	State     string          `json:"state"`
+	Err       string          `json:"err,omitempty"`
+	Resumable bool            `json:"resumable,omitempty"`
+	Result    *core.RunResult `json:"result,omitempty"`
+}
+
+// byeMsg is KindBye's payload.
+type byeMsg struct {
+	ID string `json:"id"`
+}
+
+// send is a small helper: encode payload v and send it from one port to
+// another over the control network.
+func send(p agents.Port, from, to, kind string, v interface{}) error {
+	return p.Send(agents.Message{From: from, To: to, Kind: kind, Payload: agents.Encode(v)})
+}

@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/agents"
+	"github.com/pragma-grid/pragma/internal/monitor"
+	"github.com/pragma-grid/pragma/internal/sched"
+)
+
+// WorkerConfig sizes a fleet Worker.
+type WorkerConfig struct {
+	// Port is the worker's control-network access — typically an
+	// agents.Client dialed at the broker (required).
+	Port agents.Port
+	// ID is the worker's fleet-wide identity (required). Its mailbox is
+	// WorkerPort(ID).
+	ID string
+
+	// Slots is the local run-pool size (default 2).
+	Slots int
+	// HeartbeatEvery paces capacity heartbeats (default 1s). Every tenth
+	// heartbeat is preceded by a re-hello, so a worker the router evicted
+	// during a partition re-introduces itself once the link heals.
+	HeartbeatEvery time.Duration
+	// MemoryMB and BandwidthMBps are the advertised static resources — the
+	// non-CPU terms of the Fig. 4 capacity formula (defaults 4096, 100).
+	MemoryMB      float64
+	BandwidthMBps float64
+
+	// Materialize turns dispatched wire specs into executable runs
+	// (default DefaultMaterializer()).
+	Materialize Materializer
+	// OnError receives asynchronous failures; nil discards.
+	OnError func(error)
+}
+
+func (c *WorkerConfig) fill() {
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.MemoryMB <= 0 {
+		c.MemoryMB = 4096
+	}
+	if c.BandwidthMBps <= 0 {
+		c.BandwidthMBps = 100
+	}
+	if c.Materialize == nil {
+		c.Materialize = DefaultMaterializer()
+	}
+}
+
+// Worker executes the fleet runs dispatched to it by the Router: it
+// advertises forecast capacity in heartbeats, admits dispatches into a
+// local sched pool, and reports each run's terminal state back. Create
+// with NewWorker; stop with Drain or Close.
+type Worker struct {
+	cfg      WorkerConfig
+	port     agents.Port
+	mailbox  string
+	pool     *sched.Scheduler
+	forecast *monitor.AvailabilityForecaster
+
+	mu       sync.Mutex
+	attempts map[string]int    // fleet run ID -> attempt being executed here
+	local    map[string]string // fleet run ID -> local pool run ID
+	draining bool
+
+	gone    chan struct{} // closed when the inbox closes (link torn down)
+	stopped chan struct{} // closed once a drain completes
+	stopO   sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewWorker registers the worker's mailbox, announces it to the router,
+// and starts its receive and heartbeat loops.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg.fill()
+	if cfg.Port == nil || cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: worker needs a Port and an ID")
+	}
+	mailbox := WorkerPort(cfg.ID)
+	inbox, err := cfg.Port.Register(mailbox, 256)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	w := &Worker{
+		cfg:      cfg,
+		port:     cfg.Port,
+		mailbox:  mailbox,
+		pool:     sched.New(sched.Config{Workers: cfg.Slots}),
+		forecast: monitor.NewAvailabilityForecaster(),
+		attempts: make(map[string]int),
+		local:    make(map[string]string),
+		gone:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	if err := w.hello(); err != nil {
+		cfg.Port.Unregister(mailbox)
+		return nil, err
+	}
+	w.wg.Add(2)
+	go w.recvLoop(inbox)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+func (w *Worker) reportErr(err error) {
+	if w.cfg.OnError != nil {
+		w.cfg.OnError(err)
+	}
+}
+
+func (w *Worker) hello() error {
+	return send(w.port, w.mailbox, RouterPort, KindHello, helloMsg{
+		ID:            w.cfg.ID,
+		Slots:         w.cfg.Slots,
+		MemoryMB:      w.cfg.MemoryMB,
+		BandwidthMBps: w.cfg.BandwidthMBps,
+	})
+}
+
+// heartbeatLoop advertises forecast capacity until the worker stops or its
+// link tears down. Utilization samples feed the availability forecaster,
+// so the advertised CPU figure is the *predicted* next availability.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-w.stopped:
+			return
+		case <-w.gone:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		if seq%10 == 0 {
+			if err := w.hello(); err != nil {
+				w.reportErr(fmt.Errorf("fleet: worker %s re-hello: %w", w.cfg.ID, err))
+			}
+		}
+		st := w.pool.Stats()
+		active := st.Active + st.QueueDepth
+		w.forecast.Observe(float64(active) / float64(w.cfg.Slots))
+		hb := heartbeatMsg{
+			ID:            w.cfg.ID,
+			Seq:           seq,
+			CPU:           w.forecast.Available(),
+			Active:        active,
+			Slots:         w.cfg.Slots,
+			MemoryMB:      w.cfg.MemoryMB,
+			BandwidthMBps: w.cfg.BandwidthMBps,
+		}
+		if err := send(w.port, w.mailbox, RouterPort, KindHeartbeat, hb); err != nil {
+			w.reportErr(fmt.Errorf("fleet: worker %s heartbeat: %w", w.cfg.ID, err))
+		}
+	}
+}
+
+// recvLoop consumes the worker mailbox until the port closes.
+func (w *Worker) recvLoop(inbox <-chan agents.Message) {
+	defer w.wg.Done()
+	defer close(w.gone)
+	for m := range inbox {
+		switch m.Kind {
+		case KindDispatch:
+			var d dispatchMsg
+			if err := agents.Decode(m, &d); err != nil {
+				w.reportErr(fmt.Errorf("fleet: worker %s bad dispatch: %w", w.cfg.ID, err))
+				continue
+			}
+			w.handleDispatch(d)
+		case KindDrain:
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				if err := w.Drain(context.Background()); err != nil {
+					w.reportErr(fmt.Errorf("fleet: worker %s drain: %w", w.cfg.ID, err))
+				}
+			}()
+		}
+	}
+}
+
+// handleDispatch admits one placement into the local pool and acks the
+// verdict. On admission a watcher goroutine reports the terminal state.
+func (w *Worker) handleDispatch(d dispatchMsg) {
+	ack := func(errText string) {
+		msg := ackMsg{RunID: d.RunID, Attempt: d.Attempt, Err: errText}
+		if err := send(w.port, w.mailbox, RouterPort, KindAck, msg); err != nil {
+			w.reportErr(fmt.Errorf("fleet: worker %s ack %s: %w", w.cfg.ID, d.RunID, err))
+		}
+	}
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		ack("worker draining")
+		return
+	}
+	if _, active := w.attempts[d.RunID]; active {
+		// A superseded attempt of this run is still executing here; running
+		// it twice in one pool would double-write its checkpoint store.
+		w.mu.Unlock()
+		ack("run already active on this worker")
+		return
+	}
+	w.mu.Unlock()
+
+	spec, err := w.cfg.Materialize(d.Spec)
+	if err != nil {
+		ack(fmt.Sprintf("materialize: %v", err))
+		return
+	}
+	st, err := w.pool.Submit(sched.SubmitRequest{Tenant: d.Tenant, Spec: spec})
+	if err != nil {
+		ack(err.Error())
+		return
+	}
+	w.mu.Lock()
+	w.attempts[d.RunID] = d.Attempt
+	w.local[d.RunID] = st.ID
+	w.mu.Unlock()
+	ack("")
+
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		final, err := w.pool.Wait(context.Background(), st.ID)
+		w.mu.Lock()
+		delete(w.attempts, d.RunID)
+		delete(w.local, d.RunID)
+		w.mu.Unlock()
+		res := resultMsg{RunID: d.RunID, Attempt: d.Attempt}
+		if err != nil {
+			res.State = string(sched.StateFailed)
+			res.Err = err.Error()
+		} else {
+			res.State = string(final.State)
+			res.Err = final.Error
+			res.Resumable = final.Resumable
+			res.Result = final.Result
+		}
+		if err := send(w.port, w.mailbox, RouterPort, KindResult, res); err != nil {
+			w.reportErr(fmt.Errorf("fleet: worker %s result %s: %w", w.cfg.ID, d.RunID, err))
+		}
+	}()
+}
+
+// Active reports the pool's queued-plus-running run count.
+func (w *Worker) Active() int {
+	st := w.pool.Stats()
+	return st.Active + st.QueueDepth
+}
+
+// Draining reports whether the worker has begun draining — its /readyz
+// signal.
+func (w *Worker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// Stopped returns a channel closed once a drain completes — however it was
+// initiated (Drain, Close, or a router KindDrain). Serving binaries select
+// on it to exit after a remote drain.
+func (w *Worker) Stopped() <-chan struct{} { return w.stopped }
+
+// Drain gracefully stops the worker: the local pool drains (in-flight runs
+// checkpoint at their next regrid boundary and report drained-resumable to
+// the router through their watchers), then the worker says goodbye.
+// Idempotent; concurrent calls wait for the same drain.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+	if err := w.pool.Drain(ctx); err != nil {
+		return err
+	}
+	w.stopO.Do(func() {
+		if err := send(w.port, w.mailbox, RouterPort, KindBye, byeMsg{ID: w.cfg.ID}); err != nil {
+			w.reportErr(fmt.Errorf("fleet: worker %s bye: %w", w.cfg.ID, err))
+		}
+		close(w.stopped)
+	})
+	return nil
+}
+
+// Close drains with no deadline, releases the mailbox and waits for the
+// worker's goroutines (result watchers included) to finish.
+func (w *Worker) Close() error {
+	err := w.Drain(context.Background())
+	w.port.Unregister(w.mailbox)
+	w.wg.Wait()
+	return err
+}

@@ -485,6 +485,15 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}
 }
 
+// Draining reports whether a drain has begun: the scheduler no longer
+// admits work. Serving binaries surface it through /readyz so load
+// balancers stop routing to the node while in-flight runs checkpoint.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Stopped returns a channel closed once a drain has completed and the
 // worker pool has exited — however the drain was initiated (Close, Drain,
 // or the HTTP drain endpoint). Serving binaries select on it to exit after

@@ -34,6 +34,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/core"
 	"github.com/pragma-grid/pragma/internal/engine"
+	"github.com/pragma-grid/pragma/internal/fleet"
 	"github.com/pragma-grid/pragma/internal/hydro"
 	"github.com/pragma-grid/pragma/internal/monitor"
 	"github.com/pragma-grid/pragma/internal/octant"
@@ -650,4 +651,48 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
 // routes; build maps submit parameters to run specs (nil disables submit).
 func NewSchedulerHandler(s *Scheduler, build SchedulerSpecBuilder) http.Handler {
 	return sched.Handler(s, build)
+}
+
+// Fleet aliases. The implementation lives in internal/fleet; see
+// DESIGN.md §14. A fleet shards scheduler runs across many pragma-node
+// worker processes over the agents control network, with capacity-aware
+// placement and checkpoint-resume failover when workers are lost.
+type (
+	// FleetRouter places submitted runs on fleet workers and fails them
+	// over to survivors when a worker goes silent or its link drops.
+	FleetRouter = fleet.Router
+	// FleetRouterConfig sizes a FleetRouter (heartbeat window, dispatch
+	// deadline, retry/backoff/breaker knobs, local fallback pool).
+	FleetRouterConfig = fleet.Config
+	// FleetWorker executes dispatched runs and advertises forecast
+	// capacity in heartbeats.
+	FleetWorker = fleet.Worker
+	// FleetWorkerConfig sizes a FleetWorker (identity, slots, heartbeat).
+	FleetWorkerConfig = fleet.WorkerConfig
+	// FleetWireSpec is the run description that crosses the control
+	// network: names and numbers only, materialized identically wherever
+	// the run lands.
+	FleetWireSpec = fleet.WireSpec
+	// FleetRunStatus is the externally visible snapshot of one fleet run.
+	FleetRunStatus = fleet.RunStatus
+	// FleetStats is a point-in-time aggregate view of a FleetRouter.
+	FleetStats = fleet.Stats
+	// FleetWorkerInfo is the router's view of one worker.
+	FleetWorkerInfo = fleet.WorkerInfo
+)
+
+// NewFleetRouter starts a fleet router over the given control-network
+// port (typically a MessageCenter the same process serves).
+func NewFleetRouter(cfg FleetRouterConfig) (*FleetRouter, error) { return fleet.NewRouter(cfg) }
+
+// NewFleetWorker joins the fleet as a worker executing dispatched runs
+// (cfg.Port is typically a DialMessageCenter client).
+func NewFleetWorker(cfg FleetWorkerConfig) (*FleetWorker, error) { return fleet.NewWorker(cfg) }
+
+// NewFleetHandler exposes a fleet router over HTTP with the same /sched/
+// surface a single-node scheduler serves, plus /sched/fleet; a non-empty
+// checkpointRoot defaults every run to a resumable checkpoint directory
+// under it.
+func NewFleetHandler(r *FleetRouter, checkpointRoot string) http.Handler {
+	return fleet.Handler(r, checkpointRoot)
 }
