@@ -69,6 +69,12 @@ func main() {
 	history := make([][]monitor.Reading, 0, *samples)
 	metas := make([]*monitor.Meta, *nodes)
 	forecastErr := make([]float64, *nodes)
+	// errDist pools every node's per-sample absolute error so the summary
+	// can report fleet-wide error quantiles, not just per-node means. The
+	// buckets cover the [0,1] CPU-availability scale.
+	errDist := pragma.Telemetry().Histogram("pragma_forecast_abs_error",
+		"one-step-ahead absolute CPU forecast error across all nodes",
+		[]float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64})
 	for i := range metas {
 		metas[i] = monitor.NewMeta()
 	}
@@ -78,7 +84,9 @@ func main() {
 		history = append(history, readings)
 		for i, r := range readings {
 			if s > 0 {
-				forecastErr[i] += math.Abs(metas[i].Predict() - r.CPU)
+				e := math.Abs(metas[i].Predict() - r.CPU)
+				forecastErr[i] += e
+				errDist.Observe(e)
 			}
 			metas[i].Update(r.CPU)
 		}
@@ -105,6 +113,9 @@ func main() {
 			i, last[i].CPU, metas[i].Predict(), metas[i].Best().Name(), mae,
 			fmt.Sprintf("%.1f%%", accuracy), top)
 	}
+
+	fmt.Printf("\nfleet forecast error quantiles: p50 %.4f   p95 %.4f   p99 %.4f (%d samples)\n",
+		errDist.Quantile(0.50), errDist.Quantile(0.95), errDist.Quantile(0.99), errDist.Count())
 
 	if _, err := monitor.Capacities(last, monitor.DefaultWeights()); err != nil {
 		fmt.Fprintln(os.Stderr, "gridmon:", err)

@@ -67,9 +67,17 @@ func main() {
 		scen       = flag.String("scenario", "", "replay a composed scenario spec (internal/scenario grammar) and report declared vs observed octants")
 		scenCov    = flag.Int("scenario-coverage", 0, "replay a corpus of this many seeded scenarios and print the octant-coverage table (EXPERIMENTS.md uses 100)")
 		jsonOut    = flag.Bool("json", false, "write one JSON object with per-run wall time and key metrics to stdout (tables go to stderr)")
+
+		load         = flag.Bool("load", false, "run the open-loop load harness against the /sched serving surface")
+		loadURL      = flag.String("url", "", "load target base URL (empty: an in-process scheduler is started)")
+		loadQPS      = flag.Float64("qps", 200, "peak load rate in requests/second")
+		loadDuration = flag.Duration("duration", 5*time.Second, "measured load stage length")
+		loadWarmup   = flag.Duration("warmup", time.Second, "warmup stage length at half the peak rate (0 disables)")
+		loadWorkers  = flag.Int("load-workers", 32, "load generator's bounded in-flight request pool")
+		sloP99       = flag.Duration("slo-p99", 0, "fail unless every endpoint's client-side p99 stays within this (0 disables), e.g. -slo-p99=50ms")
 	)
 	flag.Parse()
-	if !*all && !*ablations && !*extensions && !*kernel && !*schedLoad && *scen == "" && *scenCov == 0 && *table == 0 && *figure == 0 {
+	if !*all && !*ablations && !*extensions && !*kernel && !*schedLoad && !*load && *scen == "" && *scenCov == 0 && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -136,6 +144,11 @@ func main() {
 	}
 	if *scenCov > 0 {
 		run("Scenario corpus octant coverage", func() error { return printScenarioCoverage(*scenCov) })
+	}
+	if *load {
+		run("Load: /sched serving surface (open loop)", func() error {
+			return printLoad(*loadURL, *loadQPS, *loadWarmup, *loadDuration, *loadWorkers, *sloP99)
+		})
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

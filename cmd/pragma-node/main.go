@@ -66,6 +66,7 @@ import (
 
 	"github.com/pragma-grid/pragma"
 	"github.com/pragma-grid/pragma/internal/chaos"
+	"github.com/pragma-grid/pragma/internal/checkpoint"
 	"github.com/pragma-grid/pragma/internal/core"
 	"github.com/pragma-grid/pragma/internal/fleet"
 	"github.com/pragma-grid/pragma/internal/partition"
@@ -93,6 +94,7 @@ func main() {
 		schedTenantLimit = flag.Int("sched-tenant-limit", 8, "scheduler: max queued+running runs per tenant (0 = unlimited)")
 		schedCkptRoot    = flag.String("sched-checkpoint-root", "", "scheduler: checkpoint named runs under <root>/<tenant>/<name> so drained runs are resumable")
 		schedDrain       = flag.Duration("sched-drain-timeout", time.Minute, "scheduler: how long shutdown waits for in-flight runs to reach a regrid boundary")
+		schedState       = flag.String("sched-state", "", "scheduler: snapshot the queued and drained backlog into this directory on drain and restore it on boot, so a process roll loses no submitted run")
 
 		// Fleet: shard runs across pragma-node worker processes.
 		fleetMode     = flag.Bool("fleet", false, "with -serve: run the fleet router on the message center; /sched/ becomes fleet-wide (requires -telemetry-addr)")
@@ -141,6 +143,10 @@ func main() {
 	}
 
 	var scheduler *pragma.Scheduler
+	var schedBuild pragma.SchedulerSpecBuilder
+	var schedEvents *pragma.RunEventHub
+	var stateStore *checkpoint.Store
+	stateSeq := 0
 	if *schedWorkers > 0 {
 		if *telemetryAddr == "" {
 			fail(errors.New("-sched needs -telemetry-addr to serve its endpoints on"))
@@ -148,11 +154,34 @@ func main() {
 		if *fleetMode {
 			fail(errors.New("-sched and -fleet both own /sched/; pick one"))
 		}
+		schedEvents = pragma.NewRunEventHub(pragma.RunEventHubConfig{})
+		defer schedEvents.Close()
 		scheduler = pragma.NewScheduler(pragma.SchedulerConfig{
 			Workers:     *schedWorkers,
 			QueueLimit:  *schedQueue,
 			TenantLimit: *schedTenantLimit,
+			Events:      schedEvents,
 		})
+		schedBuild = schedSpecBuilder(*schedCkptRoot)
+		if *schedState != "" {
+			stateStore = &checkpoint.Store{Dir: *schedState}
+			// Boot-time restore: re-admit whatever backlog the previous
+			// process snapshotted on its way down. A missing snapshot is a
+			// fresh start, not an error.
+			seq, payload, err := stateStore.Latest(nil)
+			switch {
+			case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			case err != nil:
+				fail(fmt.Errorf("restore scheduler state: %w", err))
+			default:
+				stateSeq = seq
+				restored, err := scheduler.Restore(payload, schedBuild)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pragma-node: restore (snapshot %d): %v\n", seq, err)
+				}
+				fmt.Printf("restored %d runs from %s (snapshot %d)\n", restored, *schedState, seq)
+			}
+		}
 	}
 
 	// readiness aggregates the drain signals of whatever subsystems this
@@ -183,9 +212,12 @@ func main() {
 		pragma.RegisterQueueDepthGauge(center)
 		go center.Serve(ln)
 		fmt.Printf("message center listening on %s\n", ln.Addr())
+		fleetEvents := pragma.NewRunEventHub(pragma.RunEventHubConfig{})
+		defer fleetEvents.Close()
 		fleetRouter, err = fleet.NewRouter(fleet.Config{
 			Port:             center,
 			HeartbeatTimeout: *hbTimeout,
+			Events:           fleetEvents,
 			OnError: func(err error) {
 				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 			},
@@ -215,7 +247,7 @@ func main() {
 		mux := telemetry.NewHandler(telemetry.Default, telemetry.DefaultTracer, nil)
 		telemetry.HandleReadiness(mux, readiness.check)
 		if scheduler != nil {
-			mux.Handle("/sched/", pragma.NewSchedulerHandler(scheduler, schedSpecBuilder(*schedCkptRoot)))
+			mux.Handle("/sched/", pragma.NewSchedulerHandler(scheduler, schedBuild))
 		}
 		if fleetRouter != nil {
 			mux.Handle("/sched/", fleet.Handler(fleetRouter, *fleetCkptRoot))
@@ -248,6 +280,25 @@ func main() {
 			st := scheduler.Stats()
 			fmt.Printf("scheduler drained: %d done, %d drained (resumable), %d cancelled, %d failed\n",
 				st.Done, st.Drained, st.Cancelled, st.Failed)
+			if stateStore != nil {
+				// Persist the backlog so the next boot re-admits it: drained
+				// runs resume from their checkpoints, cancelled queued runs
+				// start fresh.
+				data, skipped, err := scheduler.Snapshot()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pragma-node: snapshot: %v\n", err)
+					return
+				}
+				if _, err := stateStore.Save(stateSeq+1, data); err != nil {
+					fmt.Fprintf(os.Stderr, "pragma-node: save state: %v\n", err)
+					return
+				}
+				if skipped > 0 {
+					fmt.Printf("scheduler state saved to %s (%d programmatic runs not serializable)\n", *schedState, skipped)
+				} else {
+					fmt.Printf("scheduler state saved to %s\n", *schedState)
+				}
+			}
 		}()
 	}
 

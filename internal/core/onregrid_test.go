@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/cluster"
+)
+
+func TestOnRegridSeesEveryCycle(t *testing.T) {
+	tr := testTrace(t)
+	var idxs []int
+	var labels []string
+	res, err := Run(tr, Adaptive{ImbalanceGuard: 20}, RunConfig{
+		Machine: cluster.Homogeneous(8, 1e5, 512, 100),
+		NProcs:  8,
+		OnRegrid: func(idx int, partitioner string) {
+			idxs = append(idxs, idx)
+			labels = append(labels, partitioner)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) != len(tr.Snapshots) {
+		t.Fatalf("OnRegrid fired %d times, want %d (one per snapshot)", len(idxs), len(tr.Snapshots))
+	}
+	for i, idx := range idxs {
+		if idx != i {
+			t.Errorf("call %d reported index %d", i, idx)
+		}
+		if labels[i] == "" {
+			t.Errorf("call %d reported empty partitioner", i)
+		}
+	}
+	// The hook must observe the same decisions the result records.
+	if len(res.Snapshots) != len(labels) {
+		t.Fatalf("result has %d snapshot stats, hook saw %d", len(res.Snapshots), len(labels))
+	}
+	for i, s := range res.Snapshots {
+		if s.Partitioner != labels[i] {
+			t.Errorf("cycle %d: hook saw %q, result records %q", i, labels[i], s.Partitioner)
+		}
+	}
+}
+
+func TestOnRegridNilIsFine(t *testing.T) {
+	tr := testTrace(t)
+	if _, err := Run(tr, Adaptive{ImbalanceGuard: 20}, RunConfig{
+		Machine: cluster.Homogeneous(4, 1e5, 512, 100),
+		NProcs:  4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

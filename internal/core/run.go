@@ -54,6 +54,12 @@ type RunConfig struct {
 	// Run then fails with an error wrapping ErrInterrupted. This is the
 	// graceful-drain hook the scheduler uses (see internal/sched).
 	Interrupt <-chan struct{}
+	// OnRegrid, when non-nil, is called once per regrid cycle with the
+	// snapshot index and the partitioner the meta-strategy chose for it.
+	// It runs on the replay goroutine between cycles, so it must be fast
+	// and must not block — the scheduler uses it to publish regrid-trace
+	// events to streaming subscribers (see internal/stream).
+	OnRegrid func(idx int, partitioner string)
 }
 
 // ErrInterrupted is the sentinel a Run interrupted through
@@ -263,6 +269,9 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			metricSwitches.Inc()
 		}
 		prevLabel = label
+		if cfg.OnRegrid != nil {
+			cfg.OnRegrid(idx, label)
+		}
 
 		cycle.StartSpan("pac")
 		// One communication plan per regrid: its rasters and stats feed the

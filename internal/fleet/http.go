@@ -8,6 +8,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"github.com/pragma-grid/pragma/internal/stream"
 )
 
 // Handler exposes the router over HTTP with the same /sched/* shape the
@@ -71,7 +73,21 @@ func Handler(r *Router, checkpointRoot string) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("/sched/runs", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, r.Runs())
+		// Paginated like the single-node surface: at most ?limit= records
+		// (default and cap DefaultRunsLimit) after run ID ?after=.
+		v := req.URL.Query()
+		limit := DefaultRunsLimit
+		if l := v.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, "bad limit")
+				return
+			}
+			if n < limit {
+				limit = n
+			}
+		}
+		writeJSON(w, http.StatusOK, r.RunsPage(v.Get("after"), limit))
 	})
 	mux.HandleFunc("/sched/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.Stats())
@@ -92,6 +108,14 @@ func Handler(r *Router, checkpointRoot string) http.Handler {
 			Workers []WorkerInfo `json:"workers"`
 			Stats   Stats        `json:"stats"`
 		}{r.Workers(), r.Stats()})
+	})
+	if r.cfg.Events != nil {
+		mux.Handle("/sched/events", stream.Handler(r.cfg.Events, stream.HandlerConfig{}))
+	}
+	// JSON 404 for unknown /sched/ paths: every error this surface emits
+	// is application/json, including routing misses.
+	mux.HandleFunc("/sched/", func(w http.ResponseWriter, req *http.Request) {
+		httpError(w, http.StatusNotFound, "unknown sched endpoint")
 	})
 	return mux
 }

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/core"
 	"github.com/pragma-grid/pragma/internal/monitor"
 	"github.com/pragma-grid/pragma/internal/sched"
+	"github.com/pragma-grid/pragma/internal/stream"
 )
 
 // Admission errors. Test with errors.Is.
@@ -74,6 +77,11 @@ type Config struct {
 	// OnError receives asynchronous failures (send errors, late frames);
 	// it runs on router goroutines and must not block. nil discards.
 	OnError func(error)
+	// Events, when non-nil, receives a stream.Event for every fleet run
+	// state transition — admission, placement (running), failover
+	// re-queueing, and the terminal record on the result path. Publishing
+	// never blocks; slow subscribers drop.
+	Events *stream.Hub
 }
 
 func (c *Config) fill() {
@@ -351,6 +359,21 @@ func (r *Router) reportErr(err error) {
 	}
 }
 
+// publishState emits rn's current state to the events hub. Callers hold
+// r.mu, which is what guarantees per-run event order matches the actual
+// transition order (Publish itself never blocks).
+func (r *Router) publishState(rn *run) {
+	if r.cfg.Events == nil {
+		return
+	}
+	r.cfg.Events.Publish(stream.Event{
+		Run:   rn.id,
+		Type:  stream.TypeState,
+		State: string(rn.state),
+		Error: rn.err,
+	})
+}
+
 // Submit admits a run and starts placing it. It returns the queued run's
 // status; placement proceeds asynchronously (watch Status or Wait).
 func (r *Router) Submit(req SubmitRequest) (RunStatus, error) {
@@ -390,6 +413,7 @@ func (r *Router) submit(req SubmitRequest, ckptRoot string) (RunStatus, error) {
 	r.runs[rn.id] = rn
 	r.subs++
 	r.active++
+	r.publishState(rn)
 	st := rn.status()
 	r.mu.Unlock()
 
@@ -574,6 +598,7 @@ func (r *Router) dispatch(rn *run, w *workerState, resume bool) bool {
 		// this goroutine wakes. Never un-finish it.
 		if !rn.state.terminal() {
 			rn.state = StateRunning
+			r.publishState(rn)
 		}
 		if !rn.started {
 			rn.started = true
@@ -635,6 +660,7 @@ func (r *Router) runLocal(rn *run, resume bool) {
 	r.mu.Lock()
 	rn.attempt++
 	rn.state = StateRunning
+	r.publishState(rn)
 	rn.placement = "local"
 	if !rn.started {
 		rn.started = true
@@ -684,6 +710,7 @@ func (r *Router) finish(rn *run, state State, errText string, resumable bool, re
 	rn.resumable = resumable
 	rn.result = res
 	rn.finished = time.Now()
+	r.publishState(rn)
 	r.active--
 	r.counts[state]++
 	r.order = append(r.order, rn.id)
@@ -925,6 +952,7 @@ func (r *Router) failover(rn *run) {
 	r.failovers++
 	exhausted := rn.failovers > r.cfg.MaxFailovers
 	rn.state = StateQueued
+	r.publishState(rn)
 	rn.placement = ""
 	draining := r.draining
 	r.mu.Unlock()
@@ -975,13 +1003,38 @@ func (r *Router) Wait(ctx context.Context, id string) (RunStatus, error) {
 
 // Runs lists every retained run record in submission order.
 func (r *Router) Runs() []RunStatus {
+	return r.RunsPage("", 0)
+}
+
+// DefaultRunsLimit caps an HTTP /sched/runs page when no explicit
+// ?limit= is given.
+const DefaultRunsLimit = 256
+
+// RunsPage lists retained run records in submission order, skipping runs
+// submitted up to and including run ID after ("" starts from the oldest
+// retained record; IDs embed the submission sequence, so an evicted or
+// future ID still orders correctly). limit bounds the page size;
+// limit <= 0 means unbounded. Page through a large backlog by passing the
+// last returned ID as the next after.
+func (r *Router) RunsPage(after string, limit int) []RunStatus {
+	afterSeq := 0
+	if after != "" {
+		if n, err := strconv.Atoi(strings.TrimPrefix(after, "fleet-")); err == nil {
+			afterSeq = n
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rs := make([]*run, 0, len(r.runs))
 	for _, rn := range r.runs {
-		rs = append(rs, rn)
+		if rn.seq > afterSeq {
+			rs = append(rs, rn)
+		}
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].seq < rs[j].seq })
+	if limit > 0 && len(rs) > limit {
+		rs = rs[:limit]
+	}
 	out := make([]RunStatus, len(rs))
 	for i, rn := range rs {
 		out[i] = rn.status()

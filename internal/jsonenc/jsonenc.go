@@ -1,0 +1,193 @@
+// Package jsonenc is the serving surface's pooled, zero-allocation JSON
+// encoder. encoding/json is convenient but costs one reflection walk and
+// several heap allocations per response; at tens of thousands of status
+// requests per second that garbage dominates the handler profile. This
+// package keeps the hot handlers (/sched/status, /sched/runs,
+// /metrics.json) allocation-free: responses are appended byte-by-byte into
+// pooled buffers with strconv's Append* primitives, and the buffers are
+// recycled after the write.
+//
+// The output is byte-compatible with encoding/json for the subset the
+// handlers use (strings, bools, int/uint, float64 with json's 'f'/'e'
+// switchover, RFC 3339 times) — differential tests in this package and in
+// the callers hold that property, so swapping an encoder never changes
+// the wire format.
+package jsonenc
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Buffer is an appendable byte buffer. Get one from the pool, append a
+// JSON document into B, write it, and Put it back.
+type Buffer struct {
+	B []byte
+}
+
+var pool = sync.Pool{
+	New: func() any { return &Buffer{B: make([]byte, 0, 4096)} },
+}
+
+// Get returns a pooled buffer with empty contents.
+func Get() *Buffer {
+	b := pool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Put recycles a buffer. Oversized buffers (beyond 1 MiB) are dropped so
+// one huge response cannot pin memory for the life of the pool.
+func Put(b *Buffer) {
+	if cap(b.B) > 1<<20 {
+		return
+	}
+	pool.Put(b)
+}
+
+// Reset empties the buffer without releasing its storage.
+func (b *Buffer) Reset() { b.B = b.B[:0] }
+
+// Len returns the number of buffered bytes.
+func (b *Buffer) Len() int { return len(b.B) }
+
+// Raw appends s verbatim — for punctuation and pre-validated fragments.
+func (b *Buffer) Raw(s string) { b.B = append(b.B, s...) }
+
+// Byte appends one raw byte.
+func (b *Buffer) Byte(c byte) { b.B = append(b.B, c) }
+
+// jsonSafe marks the ASCII bytes that pass through a JSON string
+// unescaped, matching encoding/json's safeSet (HTML escaping disabled is
+// not replicated: json escapes <, >, & by default, and so do we, keeping
+// byte compatibility with json.Marshal).
+var jsonSafe = [utf8.RuneSelf]bool{}
+
+func init() {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		jsonSafe[c] = true
+	}
+	jsonSafe['"'] = false
+	jsonSafe['\\'] = false
+	jsonSafe['<'] = false
+	jsonSafe['>'] = false
+	jsonSafe['&'] = false
+}
+
+const hexDigits = "0123456789abcdef"
+
+// String appends s as a quoted, escaped JSON string. Multi-byte UTF-8
+// passes through untouched (except U+2028/U+2029, escaped like json does);
+// invalid bytes become U+FFFD, matching encoding/json.
+func (b *Buffer) String(s string) {
+	b.B = append(b.B, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			b.B = append(b.B, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b.B = append(b.B, '\\', c)
+			case '\n':
+				b.B = append(b.B, '\\', 'n')
+			case '\r':
+				b.B = append(b.B, '\\', 'r')
+			case '\t':
+				b.B = append(b.B, '\\', 't')
+			default:
+				// Control characters and <, >, & become \u00xx.
+				b.B = append(b.B, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b.B = append(b.B, s[start:i]...)
+			b.B = append(b.B, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b.B = append(b.B, s[start:i]...)
+			b.B = append(b.B, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b.B = append(b.B, s[start:]...)
+	b.B = append(b.B, '"')
+}
+
+// Int appends a signed integer.
+func (b *Buffer) Int(v int64) { b.B = strconv.AppendInt(b.B, v, 10) }
+
+// Uint appends an unsigned integer.
+func (b *Buffer) Uint(v uint64) { b.B = strconv.AppendUint(b.B, v, 10) }
+
+// Bool appends true or false.
+func (b *Buffer) Bool(v bool) {
+	if v {
+		b.B = append(b.B, "true"...)
+	} else {
+		b.B = append(b.B, "false"...)
+	}
+}
+
+// Float appends a float64 exactly the way encoding/json renders one:
+// shortest round-trip form, 'f' style unless the magnitude calls for 'e'
+// style, with json's trimmed exponent. NaN and ±Inf are not valid JSON;
+// like json.Marshal they have no encoding, so they are rendered as 0 —
+// callers that can observe them should filter first.
+func (b *Buffer) Float(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		b.B = append(b.B, '0')
+		return
+	}
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	start := len(b.B)
+	b.B = strconv.AppendFloat(b.B, v, format, -1, 64)
+	if format == 'e' {
+		// strconv writes e+05; json trims the leading exponent zero to e+5.
+		n := len(b.B)
+		if n-start >= 4 && b.B[n-4] == 'e' && b.B[n-2] == '0' {
+			b.B[n-2] = b.B[n-1]
+			b.B = b.B[:n-1]
+		}
+	}
+}
+
+// Time appends t as a quoted RFC 3339 timestamp with nanoseconds, the
+// exact form time.Time.MarshalJSON produces.
+func (b *Buffer) Time(t time.Time) {
+	b.B = append(b.B, '"')
+	b.B = t.AppendFormat(b.B, time.RFC3339Nano)
+	b.B = append(b.B, '"')
+}
+
+// Field appends a comma (unless first) and the quoted key with its colon:
+// the standard "next object member" step.
+func (b *Buffer) Field(first *bool, key string) {
+	if !*first {
+		b.B = append(b.B, ',')
+	}
+	*first = false
+	b.String(key)
+	b.B = append(b.B, ':')
+}

@@ -1,0 +1,195 @@
+package jsonenc
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// marshal is the reference encoder every append helper must match.
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal(%v): %v", v, err)
+	}
+	return string(out)
+}
+
+func TestStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		"with \"quotes\" and \\backslash\\",
+		"newline\ntab\tcarriage\rreturn",
+		"control\x00\x01\x1f chars",
+		"html <script>&amp;</script>",
+		"unicode: héllo wörld — ✓ 日本語",
+		"line sep   para sep   end",
+		"invalid utf8: \xff\xfe mid \xc3(",
+		"emoji 🚀 and surrogate-pair text",
+	}
+	for _, s := range cases {
+		b := Get()
+		b.String(s)
+		got := string(b.B)
+		Put(b)
+		if want := marshal(t, s); got != want {
+			t.Errorf("String(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, -0.5, 3.14159265358979, 1e-6, 9.999999e-7, 1e-7,
+		1e20, 1e21, 1.5e21, -2.5e-9, 123456789.123456789, 6.02214076e23,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -math.MaxFloat64,
+		0.1, 0.3, 2.0 / 3.0, 1e100, 1e-100,
+	}
+	for _, v := range cases {
+		b := Get()
+		b.Float(v)
+		got := string(b.B)
+		Put(b)
+		if want := marshal(t, v); got != want {
+			t.Errorf("Float(%g) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestFloatRandomMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		var v float64
+		switch i % 4 {
+		case 0:
+			v = rng.NormFloat64()
+		case 1:
+			v = rng.Float64() * math.Pow(10, float64(rng.Intn(60)-30))
+		case 2:
+			v = -rng.Float64() * math.Pow(10, float64(rng.Intn(60)-30))
+		case 3:
+			v = math.Float64frombits(rng.Uint64())
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+		}
+		b := Get()
+		b.Float(v)
+		got := string(b.B)
+		Put(b)
+		if want := marshal(t, v); got != want {
+			t.Fatalf("Float(%v) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestFloatNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := Get()
+		b.Float(v)
+		if got := string(b.B); got != "0" {
+			t.Errorf("Float(%v) = %s, want 0", v, got)
+		}
+		Put(b)
+	}
+}
+
+func TestIntUintBool(t *testing.T) {
+	b := Get()
+	defer Put(b)
+	b.Int(-9223372036854775808)
+	b.Byte(' ')
+	b.Uint(18446744073709551615)
+	b.Byte(' ')
+	b.Bool(true)
+	b.Byte(' ')
+	b.Bool(false)
+	want := "-9223372036854775808 18446744073709551615 true false"
+	if got := string(b.B); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestTimeMatchesEncodingJSON(t *testing.T) {
+	cases := []time.Time{
+		time.Date(2026, 8, 8, 12, 34, 56, 789000000, time.UTC),
+		time.Date(2026, 8, 8, 12, 34, 56, 0, time.UTC),
+		time.Date(2026, 8, 8, 12, 34, 56, 123456789, time.FixedZone("X", -7*3600)),
+		time.Unix(0, 1).UTC(),
+	}
+	for _, tc := range cases {
+		b := Get()
+		b.Time(tc)
+		got := string(b.B)
+		Put(b)
+		if want := marshal(t, tc); got != want {
+			t.Errorf("Time(%v) = %s, want %s", tc, got, want)
+		}
+	}
+}
+
+func TestFieldBuildsObjects(t *testing.T) {
+	b := Get()
+	defer Put(b)
+	b.Byte('{')
+	first := true
+	b.Field(&first, "id")
+	b.String("run-000001")
+	b.Field(&first, "state")
+	b.String("done")
+	b.Field(&first, "steps")
+	b.Int(60)
+	b.Byte('}')
+	want := `{"id":"run-000001","state":"done","steps":60}`
+	if got := string(b.B); got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b.B, &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	b := Get()
+	b.Raw("hello")
+	Put(b)
+	b2 := Get()
+	if b2.Len() != 0 {
+		t.Errorf("pooled buffer not reset: %q", b2.B)
+	}
+	Put(b2)
+
+	// Oversized buffers must not return to the pool.
+	big := Get()
+	big.B = make([]byte, 0, 2<<20)
+	Put(big) // must not panic, silently dropped
+}
+
+func TestEncodeZeroAllocs(t *testing.T) {
+	ts := time.Date(2026, 8, 8, 1, 2, 3, 4, time.UTC)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := Get()
+		b.Byte('{')
+		first := true
+		b.Field(&first, "name")
+		b.String("tenant-a/run with \"escapes\"")
+		b.Field(&first, "value")
+		b.Float(123.456)
+		b.Field(&first, "count")
+		b.Uint(42)
+		b.Field(&first, "ok")
+		b.Bool(true)
+		b.Field(&first, "at")
+		b.Time(ts)
+		b.Byte('}')
+		Put(b)
+	})
+	if allocs != 0 {
+		t.Errorf("encode path allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+
+	"github.com/pragma-grid/pragma/internal/jsonenc"
+	"github.com/pragma-grid/pragma/internal/stream"
 )
 
 // SpecBuilder turns a submit request's wire parameters into a RunSpec.
@@ -52,6 +55,11 @@ func Handler(s *Scheduler, build SpecBuilder) http.Handler {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		// Keep the wire form: it is what Snapshot persists so a queued or
+		// drained run survives a process roll (see Snapshot/Restore).
+		if spec.Wire == nil {
+			spec.Wire = v
+		}
 		st, err := s.Submit(SubmitRequest{Tenant: tenant, Priority: priority, Spec: spec})
 		switch {
 		case errors.Is(err, ErrSaturated), errors.Is(err, ErrTenantLimit):
@@ -66,15 +74,49 @@ func Handler(s *Scheduler, build SpecBuilder) http.Handler {
 		}
 	})
 	mux.HandleFunc("/sched/status", func(w http.ResponseWriter, req *http.Request) {
-		st, ok := s.Status(req.URL.Query().Get("id"))
+		// Hot path: pooled zero-allocation encode, byte-identical to the
+		// encoding/json wire format (held by differential tests).
+		b := jsonenc.Get()
+		ok := s.statusJSONLocked(req.URL.Query().Get("id"), b)
 		if !ok {
+			jsonenc.Put(b)
 			httpError(w, http.StatusNotFound, "unknown run id")
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		b.Byte('\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b.B)
+		jsonenc.Put(b)
 	})
 	mux.HandleFunc("/sched/runs", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, s.Runs())
+		// Paginated: at most limit records (default DefaultRunsLimit,
+		// capped at it too) starting after run ID ?after=. Clients page
+		// by passing the last ID of each response as the next after.
+		v := req.URL.Query()
+		limit := DefaultRunsLimit
+		if l := v.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, "bad limit")
+				return
+			}
+			if n < limit {
+				limit = n
+			}
+		}
+		runs := s.RunsPage(v.Get("after"), limit)
+		b := jsonenc.Get()
+		b.Byte('[')
+		for i := range runs {
+			if i > 0 {
+				b.Byte(',')
+			}
+			appendStatusJSON(b, &runs[i])
+		}
+		b.Raw("]\n")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b.B)
+		jsonenc.Put(b)
 	})
 	mux.HandleFunc("/sched/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -89,6 +131,14 @@ func Handler(s *Scheduler, build SpecBuilder) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	if s.cfg.Events != nil {
+		mux.Handle("/sched/events", stream.Handler(s.cfg.Events, stream.HandlerConfig{}))
+	}
+	// JSON 404 for unknown /sched/ paths: every error this surface emits
+	// is application/json, including routing misses.
+	mux.HandleFunc("/sched/", func(w http.ResponseWriter, req *http.Request) {
+		httpError(w, http.StatusNotFound, "unknown sched endpoint")
 	})
 	return mux
 }

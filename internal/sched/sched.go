@@ -23,13 +23,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/core"
 	"github.com/pragma-grid/pragma/internal/samr"
+	"github.com/pragma-grid/pragma/internal/stream"
 )
 
 // Admission errors. Submit returns one of these (wrapped with context);
@@ -60,6 +64,12 @@ type Config struct {
 	// KeepFinished bounds retained terminal run records (default 1024);
 	// the oldest are evicted so a long-lived server's memory stays flat.
 	KeepFinished int
+	// Events, when non-nil, receives every run lifecycle transition and
+	// regrid cycle as stream events, so clients can watch runs over SSE
+	// or long-poll instead of hammering /sched/status. Publishing never
+	// blocks: a slow subscriber drops events and is marked lagging,
+	// costing the scheduler nothing (see internal/stream).
+	Events *stream.Hub
 }
 
 func (c *Config) fill() {
@@ -100,6 +110,12 @@ type RunSpec struct {
 	EmulateSteps    int
 	EmulateDeadline time.Duration
 	EmulateRetries  int
+	// Wire, when set, is the submission's serializable description — the
+	// query parameters a SpecBuilder would rebuild this spec from. The
+	// HTTP handler fills it automatically; programmatic submitters that
+	// want their queued runs to survive a Snapshot/Restore roll must set
+	// it themselves (runs without Wire are skipped by Snapshot).
+	Wire url.Values
 }
 
 func (s *RunSpec) validate() error {
@@ -193,6 +209,7 @@ type run struct {
 	started   time.Time
 	finished  time.Time
 	err       error
+	errText   string // err.Error(), cached once at finish for the hot status path
 	result    *core.RunResult
 	done      chan struct{} // closed on terminal state
 }
@@ -214,7 +231,7 @@ func (r *run) status() RunStatus {
 		}
 	}
 	if r.err != nil {
-		st.Error = r.err.Error()
+		st.Error = r.errText
 	}
 	if r.state == StateDrained {
 		st.Resumable = r.spec.CheckpointDir != ""
@@ -286,37 +303,68 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
+// specRunFn builds the execution closure for a spec-based submission. It
+// captures the run's ID so regrid-cycle events can be attributed to it on
+// the stream hub.
+func (s *Scheduler) specRunFn(id string, spec RunSpec) func(<-chan struct{}) (*core.RunResult, error) {
+	hub := s.cfg.Events
+	return func(interrupt <-chan struct{}) (*core.RunResult, error) {
+		var onRegrid func(int, string)
+		if hub != nil {
+			onRegrid = func(idx int, partitioner string) {
+				hub.Publish(stream.Event{
+					Run: id, Type: stream.TypeRegrid,
+					Cycle: idx, Partitioner: partitioner,
+				})
+			}
+		}
+		res, err := core.Run(spec.Trace, spec.Strategy, core.RunConfig{
+			Machine:         spec.Machine,
+			Cost:            spec.Cost,
+			NProcs:          spec.NProcs,
+			WorkModel:       spec.WorkModel,
+			CheckpointDir:   spec.CheckpointDir,
+			CheckpointEvery: spec.CheckpointEvery,
+			CheckpointKeep:  spec.CheckpointKeep,
+			Resume:          spec.Resume,
+			Interrupt:       interrupt,
+			OnRegrid:        onRegrid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if spec.EmulateSteps > 0 {
+			if err := emulateFinalSnapshot(spec); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+}
+
+// publishState emits r's current lifecycle state to the events hub.
+// Callers hold s.mu: Hub.Publish never blocks, and publishing under the
+// scheduler lock is what guarantees a run's queued → running → terminal
+// events reach the hub in order.
+func (s *Scheduler) publishState(r *run) {
+	if s.cfg.Events == nil {
+		return
+	}
+	s.cfg.Events.Publish(stream.Event{
+		Run:   r.id,
+		Type:  stream.TypeState,
+		State: string(r.state),
+		Error: r.errText,
+	})
+}
+
 // Submit admits a run or rejects it with ErrSaturated, ErrTenantLimit or
 // ErrDraining. On admission it returns the queued run's status snapshot;
 // the run starts as soon as a pool worker frees up.
 func (s *Scheduler) Submit(req SubmitRequest) (RunStatus, error) {
-	runFn := req.RunFunc
-	if runFn == nil {
-		spec := req.Spec
-		if err := spec.validate(); err != nil {
+	if req.RunFunc == nil {
+		if err := req.Spec.validate(); err != nil {
 			return RunStatus{}, err
-		}
-		runFn = func(interrupt <-chan struct{}) (*core.RunResult, error) {
-			res, err := core.Run(spec.Trace, spec.Strategy, core.RunConfig{
-				Machine:         spec.Machine,
-				Cost:            spec.Cost,
-				NProcs:          spec.NProcs,
-				WorkModel:       spec.WorkModel,
-				CheckpointDir:   spec.CheckpointDir,
-				CheckpointEvery: spec.CheckpointEvery,
-				CheckpointKeep:  spec.CheckpointKeep,
-				Resume:          spec.Resume,
-				Interrupt:       interrupt,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if spec.EmulateSteps > 0 {
-				if err := emulateFinalSnapshot(spec); err != nil {
-					return nil, err
-				}
-			}
-			return res, nil
 		}
 	}
 
@@ -344,16 +392,20 @@ func (s *Scheduler) Submit(req SubmitRequest) (RunStatus, error) {
 		tenant:    req.Tenant,
 		priority:  req.Priority,
 		spec:      req.Spec,
-		runFn:     runFn,
+		runFn:     req.RunFunc,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if r.runFn == nil {
+		r.runFn = s.specRunFn(r.id, req.Spec)
 	}
 	s.runs[r.id] = r
 	s.submitted++
 	s.tenantLoad[r.tenant]++
 	s.queue.push(r)
 	metricQueueDepth.Set(float64(s.queue.len()))
+	s.publishState(r)
 	st := r.status()
 	s.mu.Unlock()
 
@@ -381,6 +433,7 @@ func (s *Scheduler) worker() {
 		s.active++
 		metricQueueDepth.Set(float64(s.queue.len()))
 		metricActiveRuns.Set(float64(s.active))
+		s.publishState(r)
 		s.mu.Unlock()
 
 		metricQueueWaitSeconds.Observe(r.started.Sub(r.submitted).Seconds())
@@ -417,6 +470,9 @@ func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
 	r.finished = time.Now()
 	r.result = res
 	r.err = err
+	if err != nil {
+		r.errText = err.Error()
+	}
 	s.active--
 	s.tenantLoad[r.tenant]--
 	if s.tenantLoad[r.tenant] <= 0 {
@@ -425,6 +481,7 @@ func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
 	s.counts[state]++
 	s.retire(r)
 	metricActiveRuns.Set(float64(s.active))
+	s.publishState(r)
 	s.mu.Unlock()
 
 	metricOutcomes.With(string(state)).Inc()
@@ -466,6 +523,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 			}
 			s.counts[StateCancelled]++
 			s.retire(r)
+			s.publishState(r)
 			metricOutcomes.With(string(StateCancelled)).Inc()
 			close(r.done)
 		}
@@ -536,12 +594,37 @@ func (s *Scheduler) Wait(ctx context.Context, id string) (RunStatus, error) {
 
 // Runs lists every retained run record in submission order.
 func (s *Scheduler) Runs() []RunStatus {
+	return s.RunsPage("", 0)
+}
+
+// DefaultRunsLimit caps an HTTP /sched/runs page when no explicit
+// ?limit= is given.
+const DefaultRunsLimit = 256
+
+// RunsPage lists retained run records in submission order, skipping runs
+// submitted up to and including run ID after ("" starts from the oldest
+// retained record; an evicted or future ID still orders correctly because
+// IDs embed the submission sequence). limit bounds the page size;
+// limit <= 0 means unbounded. Page through a large backlog by passing the
+// last returned ID as the next after.
+func (s *Scheduler) RunsPage(after string, limit int) []RunStatus {
+	afterSeq := 0
+	if after != "" {
+		if n, err := strconv.Atoi(strings.TrimPrefix(after, "run-")); err == nil {
+			afterSeq = n
+		}
+	}
 	s.mu.Lock()
 	rs := make([]*run, 0, len(s.runs))
 	for _, r := range s.runs {
-		rs = append(rs, r)
+		if r.seq > afterSeq {
+			rs = append(rs, r)
+		}
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].seq < rs[j].seq })
+	if limit > 0 && len(rs) > limit {
+		rs = rs[:limit]
+	}
 	out := make([]RunStatus, len(rs))
 	for i, r := range rs {
 		out[i] = r.status()

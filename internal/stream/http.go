@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/jsonenc"
+)
+
+// HandlerConfig tunes the events endpoint. Zero values take defaults.
+type HandlerConfig struct {
+	// Heartbeat is the SSE keep-alive comment interval (default 15s).
+	Heartbeat time.Duration
+	// MaxPoll caps the long-poll wait (default 60s).
+	MaxPoll time.Duration
+}
+
+// Handler serves the hub over HTTP:
+//
+//	GET /...?run=<id>                      SSE stream (text/event-stream)
+//	GET /...?run=<id>&after=<seq>          SSE resuming after a cursor
+//	GET /...?run=<id>&poll=1&after=<seq>   long-poll JSON fallback
+//
+// run omitted subscribes to all runs. SSE frames carry the event JSON in
+// data:, the hub sequence number in id: (usable as Last-Event-ID /
+// ?after= on reconnect) and the event type in event:. When the
+// subscriber's buffer overflowed, a synthetic "lagging" event reports how
+// many events were lost. The long-poll form waits up to ?timeout= seconds
+// (bounded by MaxPoll) for events past the cursor and responds with
+// {"events":[...],"cursor":N,"lagged":bool}; clients resume from cursor.
+func Handler(hub *Hub, cfg HandlerConfig) http.Handler {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	if cfg.MaxPoll <= 0 {
+		cfg.MaxPoll = 60 * time.Second
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			w.Write([]byte(`{"error":"GET only"}` + "\n"))
+			return
+		}
+		q := req.URL.Query()
+		run := q.Get("run")
+		var after uint64
+		if s := q.Get("after"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				w.Write([]byte(`{"error":"bad after cursor"}` + "\n"))
+				return
+			}
+			after = v
+		} else if s := req.Header.Get("Last-Event-ID"); s != "" {
+			if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+				after = v
+			}
+		}
+		if q.Get("poll") != "" {
+			longPoll(hub, cfg, w, req, run, after)
+			return
+		}
+		serveSSE(hub, cfg, w, req, run, after)
+	})
+}
+
+func longPoll(hub *Hub, cfg HandlerConfig, w http.ResponseWriter, req *http.Request, run string, after uint64) {
+	wait := 30 * time.Second
+	if s := req.URL.Query().Get("timeout"); s != "" {
+		if secs, err := strconv.ParseFloat(s, 64); err == nil && secs >= 0 {
+			wait = time.Duration(secs * float64(time.Second))
+		}
+	}
+	if wait > cfg.MaxPoll {
+		wait = cfg.MaxPoll
+	}
+
+	events, cursor, lagged := hub.Since(run, after)
+	if len(events) == 0 && wait > 0 {
+		// Nothing buffered past the cursor: subscribe and wait for the
+		// first matching event (or timeout / client gone).
+		sub := hub.Subscribe(run, after)
+		timer := time.NewTimer(wait)
+		select {
+		case e, ok := <-sub.C:
+			if ok {
+				events = append(events, e)
+				// Drain whatever arrived in the same instant.
+				for len(events) < 64 {
+					select {
+					case e, ok := <-sub.C:
+						if !ok {
+							break
+						}
+						events = append(events, e)
+						continue
+					default:
+					}
+					break
+				}
+				cursor = events[len(events)-1].Seq
+			}
+		case <-timer.C:
+		case <-req.Context().Done():
+		}
+		timer.Stop()
+		lagged = lagged || sub.Dropped() > 0
+		hub.Unsubscribe(sub)
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	b := jsonenc.Get()
+	b.Raw(`{"events":[`)
+	for i := range events {
+		if i > 0 {
+			b.Byte(',')
+		}
+		events[i].AppendJSON(b)
+	}
+	b.Raw(`],"cursor":`)
+	b.Uint(cursor)
+	b.Raw(`,"lagged":`)
+	b.Bool(lagged)
+	b.Raw("}\n")
+	w.Write(b.B)
+	jsonenc.Put(b)
+}
+
+func serveSSE(hub *Hub, cfg HandlerConfig, w http.ResponseWriter, req *http.Request, run string, after uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotImplemented)
+		w.Write([]byte(`{"error":"streaming unsupported; use poll=1"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := hub.Subscribe(run, after)
+	defer hub.Unsubscribe(sub)
+
+	var reported uint64 // dropped count already told to the client
+	heartbeat := time.NewTicker(cfg.Heartbeat)
+	defer heartbeat.Stop()
+
+	writeEvent := func(e Event) bool {
+		b := jsonenc.Get()
+		b.Raw("id: ")
+		b.Uint(e.Seq)
+		b.Raw("\nevent: ")
+		b.Raw(e.Type)
+		b.Raw("\ndata: ")
+		e.AppendJSON(b)
+		b.Raw("\n\n")
+		_, err := w.Write(b.B)
+		jsonenc.Put(b)
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	writeLagging := func(dropped uint64) bool {
+		b := jsonenc.Get()
+		b.Raw("event: lagging\ndata: {\"dropped\":")
+		b.Uint(dropped)
+		b.Raw("}\n\n")
+		_, err := w.Write(b.B)
+		jsonenc.Put(b)
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for {
+		// Report buffer overflow as soon as it is observed, so a lagging
+		// client knows its view has a gap and can re-sync via /sched/status.
+		if d := sub.Dropped(); d > reported {
+			if !writeLagging(d - reported) {
+				return
+			}
+			reported = d
+		}
+		select {
+		case e, ok := <-sub.C:
+			if !ok {
+				return // hub closed
+			}
+			if !writeEvent(e) {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := w.Write([]byte(": keep-alive\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-req.Context().Done():
+			return
+		}
+	}
+}

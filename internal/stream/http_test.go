@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed SSE event.
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+}
+
+// readFrames parses n SSE frames from r, failing the test on timeout
+// (the reader runs in a goroutine; the deadline is enforced by the
+// caller's channel select).
+func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
+	t.Helper()
+	frames := make([]sseFrame, 0, n)
+	var cur sseFrame
+	for len(frames) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read SSE stream: %v (got %d/%d frames)", err, len(frames), n)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if cur.data != "" {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, ":"): // comment / heartbeat
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		}
+	}
+	return frames
+}
+
+func TestSSEObservesEveryTransition(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	srv := httptest.NewServer(Handler(h, HandlerConfig{Heartbeat: 100 * time.Millisecond}))
+	defer srv.Close()
+
+	// The "queued" event fires before the client attaches; replay must
+	// deliver it anyway.
+	h.Publish(Event{Run: "run-1", Type: TypeState, State: "queued"})
+
+	resp, err := http.Get(srv.URL + "?run=run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+
+	type result struct {
+		frames []sseFrame
+	}
+	got := make(chan result, 1)
+	go func() {
+		r := bufio.NewReader(resp.Body)
+		got <- result{readFrames(t, r, 4)}
+	}()
+
+	// Publish the rest of the lifecycle after the subscriber attached.
+	// Small sleep lets the SSE handler finish its subscribe, though replay
+	// makes the test correct either way.
+	time.Sleep(50 * time.Millisecond)
+	h.Publish(Event{Run: "run-1", Type: TypeState, State: "running"})
+	h.Publish(Event{Run: "run-1", Type: TypeRegrid, Cycle: 1, Partitioner: "SP-ISP"})
+	h.Publish(Event{Run: "run-1", Type: TypeState, State: "done"})
+
+	select {
+	case r := <-got:
+		var states []string
+		for _, f := range r.frames {
+			var e Event
+			if err := json.Unmarshal([]byte(f.data), &e); err != nil {
+				t.Fatalf("bad event JSON %q: %v", f.data, err)
+			}
+			if f.id != fmt.Sprint(e.Seq) {
+				t.Errorf("frame id %q != seq %d", f.id, e.Seq)
+			}
+			if f.event != e.Type {
+				t.Errorf("frame event %q != type %q", f.event, e.Type)
+			}
+			if e.Type == TypeState {
+				states = append(states, e.State)
+			}
+		}
+		want := []string{"queued", "running", "done"}
+		if len(states) != 3 || states[0] != want[0] || states[1] != want[1] || states[2] != want[2] {
+			t.Errorf("observed states %v, want %v", states, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for SSE frames")
+	}
+}
+
+func TestSSEResumeWithLastEventID(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	srv := httptest.NewServer(Handler(h, HandlerConfig{}))
+	defer srv.Close()
+
+	s1 := h.Publish(Event{Run: "r", Type: TypeState, State: "queued"})
+	h.Publish(Event{Run: "r", Type: TypeState, State: "running"})
+
+	req, _ := http.NewRequest("GET", srv.URL+"?run=r", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(s1))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readFrames(t, bufio.NewReader(resp.Body), 1)
+	var e Event
+	json.Unmarshal([]byte(frames[0].data), &e)
+	if e.State != "running" {
+		t.Errorf("resumed state %q, want running (queued was before cursor)", e.State)
+	}
+}
+
+func TestLongPollImmediateAndWait(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	srv := httptest.NewServer(Handler(h, HandlerConfig{}))
+	defer srv.Close()
+
+	type pollResp struct {
+		Events []Event `json:"events"`
+		Cursor uint64  `json:"cursor"`
+		Lagged bool    `json:"lagged"`
+	}
+	poll := func(query string) pollResp {
+		t.Helper()
+		resp, err := http.Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q, want application/json", ct)
+		}
+		var pr pollResp
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	// Buffered events return immediately.
+	h.Publish(Event{Run: "r", Type: TypeState, State: "queued"})
+	pr := poll("?run=r&poll=1&timeout=5")
+	if len(pr.Events) != 1 || pr.Events[0].State != "queued" {
+		t.Fatalf("immediate poll: %+v", pr)
+	}
+
+	// Nothing new: the next poll waits for the event.
+	done := make(chan pollResp, 1)
+	go func() { done <- poll(fmt.Sprintf("?run=r&poll=1&after=%d&timeout=10", pr.Cursor)) }()
+	time.Sleep(100 * time.Millisecond)
+	h.Publish(Event{Run: "r", Type: TypeState, State: "running"})
+	select {
+	case pr2 := <-done:
+		if len(pr2.Events) != 1 || pr2.Events[0].State != "running" {
+			t.Fatalf("waited poll: %+v", pr2)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll did not wake on publish")
+	}
+
+	// Timeout path: empty event list, cursor intact.
+	pr3 := poll(fmt.Sprintf("?run=r&poll=1&after=%d&timeout=0.1", h.Seq()))
+	if len(pr3.Events) != 0 {
+		t.Fatalf("timeout poll returned events: %+v", pr3)
+	}
+	if pr3.Cursor != h.Seq() {
+		t.Errorf("timeout poll cursor %d, want %d", pr3.Cursor, h.Seq())
+	}
+}
+
+func TestHandlerRejectsBadInput(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	srv := httptest.NewServer(Handler(h, HandlerConfig{}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?after=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cursor: status %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error Content-Type %q, want application/json", ct)
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", post.StatusCode)
+	}
+}

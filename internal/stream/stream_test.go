@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pragma-grid/pragma/internal/jsonenc"
+)
+
+func TestPublishSubscribeOrder(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	sub := h.Subscribe("run-1", 0)
+	for i := 0; i < 5; i++ {
+		h.Publish(Event{Run: "run-1", Type: TypeState, State: fmt.Sprintf("s%d", i)})
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case e := <-sub.C:
+			if want := fmt.Sprintf("s%d", i); e.State != want {
+				t.Errorf("event %d: state %q, want %q", i, e.State, want)
+			}
+			if e.Seq != uint64(i+1) {
+				t.Errorf("event %d: seq %d, want %d", i, e.Seq, i+1)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timed out waiting for event %d", i)
+		}
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	sub := h.Subscribe("run-b", 0)
+	h.Publish(Event{Run: "run-a", Type: TypeState, State: "running"})
+	h.Publish(Event{Run: "run-b", Type: TypeState, State: "queued"})
+	h.Publish(Event{Run: "run-a", Type: TypeState, State: "done"})
+	select {
+	case e := <-sub.C:
+		if e.Run != "run-b" {
+			t.Errorf("got event for %q, want run-b", e.Run)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timed out")
+	}
+	select {
+	case e := <-sub.C:
+		t.Errorf("unexpected second event: %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestHistoryReplayOnSubscribe(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	// Events published BEFORE the subscriber attaches must still be seen:
+	// this is what makes submit-then-watch race-free.
+	h.Publish(Event{Run: "r", Type: TypeState, State: "queued"})
+	h.Publish(Event{Run: "r", Type: TypeState, State: "running"})
+	sub := h.Subscribe("r", 0)
+	states := []string{}
+	for i := 0; i < 2; i++ {
+		select {
+		case e := <-sub.C:
+			states = append(states, e.State)
+		case <-time.After(time.Second):
+			t.Fatal("timed out on replay")
+		}
+	}
+	if states[0] != "queued" || states[1] != "running" {
+		t.Errorf("replayed states %v, want [queued running]", states)
+	}
+	// Live events continue after replay.
+	h.Publish(Event{Run: "r", Type: TypeState, State: "done"})
+	select {
+	case e := <-sub.C:
+		if e.State != "done" {
+			t.Errorf("live state %q, want done", e.State)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timed out on live event")
+	}
+}
+
+func TestSubscribeAfterCursor(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	s1 := h.Publish(Event{Run: "r", Type: TypeState, State: "queued"})
+	h.Publish(Event{Run: "r", Type: TypeState, State: "running"})
+	sub := h.Subscribe("r", s1)
+	select {
+	case e := <-sub.C:
+		if e.State != "running" {
+			t.Errorf("state %q, want running (cursor should skip queued)", e.State)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	h := NewHub(Config{SubBuffer: 4})
+	defer h.Close()
+	sub := h.Subscribe("", 0)
+	// Publish far more than the buffer without draining; every Publish
+	// must return promptly.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			h.Publish(Event{Run: "r", Type: TypeState, State: "x"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if d := sub.Dropped(); d != 96 {
+		t.Errorf("dropped %d, want 96 (100 published, buffer 4)", d)
+	}
+	// The buffered 4 are still readable.
+	for i := 0; i < 4; i++ {
+		select {
+		case <-sub.C:
+		case <-time.After(time.Second):
+			t.Fatal("buffered event missing")
+		}
+	}
+}
+
+func TestRingWrapMarksLagged(t *testing.T) {
+	h := NewHub(Config{History: 8})
+	defer h.Close()
+	var first uint64
+	for i := 0; i < 20; i++ {
+		seq := h.Publish(Event{Run: "r", Type: TypeState, State: "x"})
+		if i == 0 {
+			first = seq
+		}
+	}
+	events, cursor, lagged := h.Since("r", first)
+	if !lagged {
+		t.Error("want lagged after ring wrap")
+	}
+	if len(events) != 8 {
+		t.Errorf("got %d events, want 8 (ring size)", len(events))
+	}
+	if cursor != 20 {
+		t.Errorf("cursor %d, want 20", cursor)
+	}
+	// A cursor inside the retained window is not lagged.
+	if _, _, lagged := h.Since("r", 15); lagged {
+		t.Error("cursor within window wrongly marked lagged")
+	}
+}
+
+func TestSinceAllRunsMergesInOrder(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	h.Publish(Event{Run: "a", Type: TypeState, State: "s1"})
+	h.Publish(Event{Run: "b", Type: TypeState, State: "s2"})
+	h.Publish(Event{Run: "a", Type: TypeState, State: "s3"})
+	events, cursor, _ := h.Since("", 0)
+	if len(events) != 3 || cursor != 3 {
+		t.Fatalf("got %d events cursor %d, want 3/3", len(events), cursor)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d out of order: seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestUnsubscribeIdempotentAndClose(t *testing.T) {
+	h := NewHub(Config{})
+	sub := h.Subscribe("", 0)
+	h.Unsubscribe(sub)
+	h.Unsubscribe(sub) // must not panic
+	if _, ok := <-sub.C; ok {
+		t.Error("channel still open after Unsubscribe")
+	}
+	sub2 := h.Subscribe("", 0)
+	h.Close()
+	h.Close() // idempotent
+	if _, ok := <-sub2.C; ok {
+		t.Error("channel still open after hub Close")
+	}
+	// Publish after close is a no-op, subscribe returns a closed sub.
+	h.Publish(Event{Run: "r"})
+	sub3 := h.Subscribe("", 0)
+	if _, ok := <-sub3.C; ok {
+		t.Error("subscribe after close returned an open channel")
+	}
+}
+
+func TestEventAppendJSONMatchesEncodingJSON(t *testing.T) {
+	cases := []Event{
+		{Seq: 1, Run: "run-000001", Type: TypeState, State: "queued", Time: time.Date(2026, 8, 8, 1, 2, 3, 0, time.UTC)},
+		{Seq: 2, Run: "r", Type: TypeRegrid, Cycle: 7, Partitioner: "G-MISP+SP", Time: time.Unix(12345, 678).UTC()},
+		{Seq: 3, Run: "r \"quoted\"", Type: TypeState, State: "failed", Error: "boom:\nline2", Time: time.Unix(0, 1).UTC()},
+	}
+	for _, e := range cases {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := jsonenc.Get()
+		e.AppendJSON(b)
+		if !bytes.Equal(b.B, want) {
+			t.Errorf("AppendJSON = %s, want %s", b.B, want)
+		}
+		jsonenc.Put(b)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	h := NewHub(Config{SubBuffer: 8, History: 16})
+	defer h.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Publish(Event{Run: fmt.Sprintf("run-%d", i%5), Type: TypeState, State: "x"})
+			}
+		}(p)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sub := h.Subscribe(fmt.Sprintf("run-%d", i%5), 0)
+				for j := 0; j < 3; j++ {
+					select {
+					case <-sub.C:
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+				h.Unsubscribe(sub)
+				h.Since("", 0)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeEventPublish(b *testing.B) {
+	h := NewHub(Config{SubBuffer: 1}) // tiny buffer: measures the drop path too
+	defer h.Close()
+	h.Subscribe("r", 0)
+	e := Event{Run: "r", Type: TypeState, State: "running", Time: time.Unix(0, 0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Publish(e)
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+
+	"github.com/pragma-grid/pragma/internal/jsonenc"
+)
+
+// encodePlan is a cached, pre-sorted view of the registry used by
+// AppendJSON. Building it allocates (sorting families, children and label
+// orders), so it is rebuilt only when the registry's structure generation
+// moves — i.e. when a new family or child appears. Steady-state serving
+// reuses the plan and encodes with zero allocations.
+type encodePlan struct {
+	gen      uint64
+	families []planFamily
+}
+
+type planFamily struct {
+	f        *family
+	kind     string
+	labelIdx []int    // family label positions in sorted-by-name order
+	children []*child // sorted by label values; empty for KindGaugeFunc
+}
+
+func (r *Registry) encodePlan() *encodePlan {
+	gen := r.gen.Load()
+	if p := r.plan.Load(); p != nil && p.gen == gen {
+		return p
+	}
+	p := &encodePlan{gen: gen}
+	for _, f := range r.sortedFamilies() {
+		pf := planFamily{f: f, kind: f.kind.String()}
+		// encoding/json renders the labels map with sorted keys; fix the
+		// order once here so the encoder can stream it.
+		pf.labelIdx = make([]int, len(f.labels))
+		for i := range pf.labelIdx {
+			pf.labelIdx[i] = i
+		}
+		sort.Slice(pf.labelIdx, func(a, b int) bool {
+			return f.labels[pf.labelIdx[a]] < f.labels[pf.labelIdx[b]]
+		})
+		if f.kind != KindGaugeFunc {
+			f.mu.RLock()
+			pf.children = make([]*child, 0, len(f.children))
+			for _, c := range f.children {
+				pf.children = append(pf.children, c)
+			}
+			f.mu.RUnlock()
+			sort.Slice(pf.children, func(i, j int) bool {
+				return childKey(pf.children[i].values) < childKey(pf.children[j].values)
+			})
+			if len(pf.children) == 0 {
+				continue
+			}
+		}
+		p.families = append(p.families, pf)
+	}
+	r.plan.Store(p)
+	return p
+}
+
+// AppendJSON appends the registry's snapshot to b in exactly the bytes
+// json.Marshal(r.Snapshot()) would produce — the /metrics.json wire format
+// — without allocating once the encode plan is warm. Values are read live
+// from the atomic metric cells, so concurrent observations may land
+// between two series of the same document (the same tolerance Snapshot
+// has).
+func (r *Registry) AppendJSON(b *jsonenc.Buffer) {
+	p := r.encodePlan()
+	b.Raw(`{"metrics":`)
+	mark := b.Len()
+	b.Byte('[')
+	emitted := 0
+	for i := range p.families {
+		pf := &p.families[i]
+		f := pf.f
+		var fn func() float64
+		if f.kind == KindGaugeFunc {
+			f.mu.RLock()
+			fn = f.fn
+			f.mu.RUnlock()
+			if fn == nil {
+				continue
+			}
+		}
+		if emitted > 0 {
+			b.Byte(',')
+		}
+		emitted++
+		b.Raw(`{"name":`)
+		b.String(f.name)
+		if f.help != "" {
+			b.Raw(`,"help":`)
+			b.String(f.help)
+		}
+		b.Raw(`,"kind":`)
+		b.String(pf.kind)
+		b.Raw(`,"series":[`)
+		if fn != nil {
+			b.Raw(`{"value":`)
+			b.Float(fn())
+			b.Raw(`}`)
+		}
+		for ci, c := range pf.children {
+			if ci > 0 {
+				b.Byte(',')
+			}
+			b.Byte('{')
+			if len(f.labels) > 0 {
+				b.Raw(`"labels":{`)
+				for li, idx := range pf.labelIdx {
+					if li > 0 {
+						b.Byte(',')
+					}
+					b.String(f.labels[idx])
+					b.Byte(':')
+					b.String(c.values[idx])
+				}
+				b.Raw(`},`)
+			}
+			b.Raw(`"value":`)
+			switch {
+			case c.counter != nil:
+				b.Float(float64(c.counter.Value()))
+			case c.gauge != nil:
+				b.Float(c.gauge.Value())
+			default:
+				b.Byte('0')
+			}
+			if h := c.histogram; h != nil {
+				if sum := h.Sum(); sum != 0 {
+					b.Raw(`,"sum":`)
+					b.Float(sum)
+				}
+				// Total first (field order), then stream cumulative
+				// buckets in a second pass over the atomic cells.
+				var total uint64
+				for i := range h.counts {
+					total += h.counts[i].Load()
+				}
+				if total != 0 {
+					b.Raw(`,"observations":`)
+					b.Uint(total)
+				}
+				if len(h.bounds) > 0 {
+					b.Raw(`,"buckets":[`)
+					var acc uint64
+					for i, bound := range h.bounds {
+						if i > 0 {
+							b.Byte(',')
+						}
+						acc += h.counts[i].Load()
+						b.Raw(`{"le":`)
+						b.Float(bound)
+						b.Raw(`,"count":`)
+						b.Uint(acc)
+						b.Byte('}')
+					}
+					b.Byte(']')
+				}
+			}
+			b.Byte('}')
+		}
+		b.Raw(`]}`)
+	}
+	if emitted == 0 {
+		b.B = b.B[:mark]
+		b.Raw(`null`)
+	} else {
+		b.Byte(']')
+	}
+	b.Byte('}')
+}
+
+// WriteJSON writes the /metrics.json document (AppendJSON plus the
+// trailing newline json.Encoder emits) through a pooled buffer.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b := jsonenc.Get()
+	r.AppendJSON(b)
+	b.Byte('\n')
+	_, err := w.Write(b.B)
+	jsonenc.Put(b)
+	return err
+}

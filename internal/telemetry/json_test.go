@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/jsonenc"
+)
+
+// populate builds a registry exercising every metric shape the encoder
+// handles: plain counter/gauge, labeled vecs, histograms with and without
+// observations, gauge funcs, escaping-hostile names in label values.
+func populate(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("plain_total", "a plain counter").Add(42)
+	reg.Gauge("depth", "").Set(-3.75)
+	cv := reg.CounterVec("reqs_total", "labeled counter", "tenant", "code")
+	cv.With("alice", "200").Add(7)
+	cv.With("bob \"the\" builder", "429").Inc()
+	cv.With("z\nwith\tescapes", "503").Add(2)
+	gv := reg.GaugeVec("load", "labeled gauge", "zone")
+	gv.With("east").Set(0.25)
+	gv.With("west").Set(1e-9) // exercises json's 'e' float form
+	h := reg.Histogram("latency_seconds", "request latency", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.002)
+	}
+	reg.Histogram("empty_hist", "no observations yet", []float64{1, 2})
+	hv := reg.HistogramVec("op_seconds", "", []float64{0.5, 5}, "op")
+	hv.With("submit").Observe(0.3)
+	hv.With("status").Observe(7)
+	reg.GaugeFunc("computed", "sampled at exposition", func() float64 { return 12.5 })
+	return reg
+}
+
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	reg := populate(t)
+	want, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := jsonenc.Get()
+	defer jsonenc.Put(b)
+	reg.AppendJSON(b)
+	if !bytes.Equal(b.B, want) {
+		t.Errorf("AppendJSON diverges from json.Marshal(Snapshot())\n got: %s\nwant: %s", b.B, want)
+	}
+
+	// Mutate values (no structural change) and re-encode: the cached plan
+	// must still match.
+	reg.Counter("plain_total", "a plain counter").Inc()
+	reg.Histogram("latency_seconds", "request latency", []float64{0.001, 0.01, 0.1, 1}).Observe(0.5)
+	want, _ = json.Marshal(reg.Snapshot())
+	b.Reset()
+	reg.AppendJSON(b)
+	if !bytes.Equal(b.B, want) {
+		t.Errorf("re-encode diverges after value mutation\n got: %s\nwant: %s", b.B, want)
+	}
+
+	// Structural change (new child) must invalidate the plan.
+	reg.CounterVec("reqs_total", "labeled counter", "tenant", "code").With("carol", "200").Inc()
+	want, _ = json.Marshal(reg.Snapshot())
+	b.Reset()
+	reg.AppendJSON(b)
+	if !bytes.Equal(b.B, want) {
+		t.Errorf("re-encode diverges after structural change\n got: %s\nwant: %s", b.B, want)
+	}
+}
+
+func TestAppendJSONEmptyRegistry(t *testing.T) {
+	reg := NewRegistry()
+	want, _ := json.Marshal(reg.Snapshot())
+	b := jsonenc.Get()
+	defer jsonenc.Put(b)
+	reg.AppendJSON(b)
+	if got := string(b.B); got != string(want) {
+		t.Errorf("empty registry: got %s, want %s", got, want)
+	}
+}
+
+func TestWriteJSONMatchesEncoder(t *testing.T) {
+	reg := populate(t)
+	var want bytes.Buffer
+	json.NewEncoder(&want).Encode(reg.Snapshot())
+	var got bytes.Buffer
+	if err := reg.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("WriteJSON diverges from json.Encoder\n got: %s\nwant: %s", got.Bytes(), want.Bytes())
+	}
+}
+
+func TestAppendJSONZeroAllocs(t *testing.T) {
+	reg := populate(t)
+	b := jsonenc.Get()
+	reg.AppendJSON(b) // warm the plan and size the buffer
+	jsonenc.Put(b)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf := jsonenc.Get()
+		reg.AppendJSON(buf)
+		jsonenc.Put(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendJSON allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkServeMetricsJSON(b *testing.B) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("reqs_total", "", "tenant", "code")
+	cv.With("a", "200").Add(100)
+	cv.With("b", "429").Add(3)
+	h := reg.Histogram("latency_seconds", "", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%100) * 0.001)
+	}
+	buf := jsonenc.Get()
+	reg.AppendJSON(buf)
+	jsonenc.Put(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := jsonenc.Get()
+		reg.AppendJSON(out)
+		jsonenc.Put(out)
+	}
+}
+
+func BenchmarkServeMetricsJSONStdlib(b *testing.B) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("reqs_total", "", "tenant", "code")
+	cv.With("a", "200").Add(100)
+	cv.With("b", "429").Add(3)
+	h := reg.Histogram("latency_seconds", "", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%100) * 0.001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(reg.Snapshot()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

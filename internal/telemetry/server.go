@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -36,7 +35,9 @@ func NewHandler(reg *Registry, tracer *Tracer, health func() error) *http.ServeM
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(reg.Snapshot())
+		// Pooled zero-allocation encode; byte-identical to the old
+		// json.NewEncoder(w).Encode(reg.Snapshot()) wire format.
+		reg.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		if health != nil {

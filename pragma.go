@@ -24,9 +24,11 @@
 package pragma
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
+	"time"
 
 	"github.com/pragma-grid/pragma/internal/agents"
 	"github.com/pragma-grid/pragma/internal/astro"
@@ -36,6 +38,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/engine"
 	"github.com/pragma-grid/pragma/internal/fleet"
 	"github.com/pragma-grid/pragma/internal/hydro"
+	"github.com/pragma-grid/pragma/internal/loadgen"
 	"github.com/pragma-grid/pragma/internal/monitor"
 	"github.com/pragma-grid/pragma/internal/octant"
 	"github.com/pragma-grid/pragma/internal/partition"
@@ -45,6 +48,7 @@ import (
 	"github.com/pragma-grid/pragma/internal/samr"
 	"github.com/pragma-grid/pragma/internal/scenario"
 	"github.com/pragma-grid/pragma/internal/sched"
+	"github.com/pragma-grid/pragma/internal/stream"
 	"github.com/pragma-grid/pragma/internal/telemetry"
 )
 
@@ -695,4 +699,58 @@ func NewFleetWorker(cfg FleetWorkerConfig) (*FleetWorker, error) { return fleet.
 // under it.
 func NewFleetHandler(r *FleetRouter, checkpointRoot string) http.Handler {
 	return fleet.Handler(r, checkpointRoot)
+}
+
+// Run-event streaming aliases. The implementation lives in
+// internal/stream; see DESIGN.md §15. A hub broadcasts per-run lifecycle
+// and regrid-cycle events to bounded subscribers; wire one into
+// SchedulerConfig.Events or FleetRouterConfig.Events and clients can
+// follow runs over /sched/events (SSE with a long-poll fallback) instead
+// of polling /sched/status.
+type (
+	// RunEvent is one run lifecycle or regrid-cycle event.
+	RunEvent = stream.Event
+	// RunEventHub fans events out to subscribers without ever blocking
+	// the publisher; slow subscribers drop events and are marked lagging.
+	RunEventHub = stream.Hub
+	// RunEventHubConfig sizes a hub's per-subscriber buffers and per-run
+	// replay history.
+	RunEventHubConfig = stream.Config
+	// RunEventSub is one subscription; receive on C, check Dropped.
+	RunEventSub = stream.Sub
+)
+
+// NewRunEventHub creates an event hub (zero config = sensible defaults).
+func NewRunEventHub(cfg RunEventHubConfig) *RunEventHub { return stream.NewHub(cfg) }
+
+// NewRunEventsHandler serves a hub over HTTP: Server-Sent Events by
+// default, JSON long-poll with ?poll=1.
+func NewRunEventsHandler(h *RunEventHub) http.Handler {
+	return stream.Handler(h, stream.HandlerConfig{})
+}
+
+// Load-generation aliases. The implementation lives in internal/loadgen:
+// an open-loop QPS harness for the /sched serving surface whose latencies
+// count from intended arrival times (no coordinated omission) and whose
+// report derives percentiles from telemetry histograms.
+type (
+	// LoadConfig parameterizes one load run (target, stages, worker pool).
+	LoadConfig = loadgen.Config
+	// LoadStage is one rung of the open-loop schedule.
+	LoadStage = loadgen.Stage
+	// LoadReport is the client-side result: per-endpoint p50/p95/p99,
+	// throughput, errors and backpressure counts.
+	LoadReport = loadgen.Report
+	// LoadEndpointReport is one endpoint's slice of the report.
+	LoadEndpointReport = loadgen.EndpointReport
+)
+
+// RunLoad executes an open-loop load run against cfg.BaseURL.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	return loadgen.Run(ctx, cfg)
+}
+
+// LoadRamp builds the common warmup-then-measure stage schedule.
+func LoadRamp(peakQPS float64, warmup, duration time.Duration) []LoadStage {
+	return loadgen.Ramp(peakQPS, warmup, duration)
 }
