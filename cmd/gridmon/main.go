@@ -20,6 +20,8 @@ import (
 	"github.com/pragma-grid/pragma"
 	"github.com/pragma-grid/pragma/internal/cluster"
 	"github.com/pragma-grid/pragma/internal/monitor"
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
 )
 
 func usageError(msg string) {
@@ -139,10 +141,79 @@ func main() {
 	fmt.Println("\ncapacities are the weighted normalized CPU/memory/bandwidth sums of Fig. 4;")
 	fmt.Println("the system-sensitive partitioner distributes workload proportionally to them.")
 
+	// Partition latency: drive a short delta-regrid sequence at the
+	// monitored cluster's size so /metrics carries the partitioner latency
+	// histograms and the plan-reuse gauge, then report them the way a
+	// scraper would.
+	if err := partitionActivity(*nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "gridmon:", err)
+		os.Exit(1)
+	}
+	partHist := pragma.Telemetry().HistogramVec("pragma_partition_seconds", "", nil, "partitioner")
+	fmt.Printf("\n%-12s %-8s %-10s %-10s %s\n", "Partitioner", "Calls", "p50 (ms)", "p95 (ms)", "Mean (ms)")
+	for _, p := range partition.All() {
+		h := partHist.With(p.Name())
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %-8d %-10.3f %-10.3f %.3f\n", p.Name(), n,
+			h.Quantile(0.50)*1e3, h.Quantile(0.95)*1e3, h.Sum()/float64(n)*1e3)
+	}
+	reuse := pragma.Telemetry().Snapshot().Find("pragma_partition_incremental_reuse_ratio")
+	if len(reuse) > 0 {
+		fmt.Printf("\ndelta-regrid plan reuse on the last cycle: %.1f%% of units served from cache\n",
+			100*reuse[0].Value)
+	}
+
 	if tsrv != nil && *telemetryHold > 0 {
 		fmt.Printf("holding telemetry endpoint for %s\n", *telemetryHold)
 		time.Sleep(*telemetryHold)
 	}
+}
+
+// partitionActivity drives a short delta-regrid sequence — a tracked
+// level-2 box drifting across four regrids of a small SAMR workload —
+// through every ISP partitioner with a warm PartitionPlan, populating
+// pragma_partition_seconds and pragma_partition_incremental_reuse_ratio.
+func partitionActivity(nprocs int) error {
+	build := func(shift int) (*samr.Hierarchy, error) {
+		h, err := samr.NewHierarchy(samr.MakeBox(64, 32, 32), 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.SetLevel(1, []samr.Box{
+			{Lo: samr.Point{16, 0, 0}, Hi: samr.Point{96, 64, 64}},
+		}); err != nil {
+			return nil, err
+		}
+		if err := h.SetLevel(2, []samr.Box{
+			{Lo: samr.Point{40 + 4*shift, 16, 16}, Hi: samr.Point{72 + 4*shift, 48, 48}},
+		}); err != nil {
+			return nil, err
+		}
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	for _, p := range partition.All() {
+		ip, ok := p.(partition.IncrementalPartitioner)
+		if !ok {
+			continue
+		}
+		plan := partition.NewPartitionPlan()
+		for shift := 0; shift < 4; shift++ {
+			h, err := build(shift)
+			if err != nil {
+				return err
+			}
+			if _, err := ip.PartitionIncremental(h, samr.UniformWorkModel{}, nprocs, plan); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // gaugeByNode extracts a per-node gauge family from a registry snapshot

@@ -185,7 +185,7 @@ func (am *AgentManaged) Assign(ctx *StepContext) (*partition.Assignment, string,
 		return nil, "", err
 	}
 	ctx.CycleTrace.Event("partitioner-selected", telemetry.String("partitioner", p.Name()))
-	a, err := p.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
+	a, err := ctx.Partition(p)
 	if err != nil {
 		return nil, "", err
 	}

@@ -170,6 +170,10 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 	var prevA *partition.Assignment
 	var prevH *samr.Hierarchy
 	var prevPlan *partition.CommPlan
+	// The delta-regrid plan lets partitioners reuse unchanged boxes'
+	// decomposition and SFC keys across cycles. Pure cache: a resumed run
+	// starts cold and produces bit-identical assignments anyway.
+	partPlan := partition.NewPartitionPlan()
 	var prevLabel string
 	var imbSum, effSum float64
 	startIdx := 0
@@ -255,6 +259,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 			Machine:        cfg.Machine,
 			PrevAssignment: prevA,
 			PrevHierarchy:  prevH,
+			PartitionPlan:  partPlan,
 			CycleTrace:     cycle,
 		}
 		cycle.StartSpan("repartition")

@@ -32,10 +32,24 @@ type StepContext struct {
 	// (nil at the first regrid).
 	PrevAssignment *partition.Assignment
 	PrevHierarchy  *samr.Hierarchy
+	// PartitionPlan, when non-nil, carries the delta-regrid caches across
+	// cycles: partitioners reuse the previous hierarchy's decomposition and
+	// SFC keys for unchanged boxes. core.Run owns one plan per run (it
+	// starts cold on resume); output is bit-identical with or without it.
+	PartitionPlan *partition.PartitionPlan
 	// CycleTrace, when non-nil, records this regrid cycle in the telemetry
 	// trace ring; strategies annotate it with classification and selection
 	// events (nil-safe to use).
 	CycleTrace *telemetry.Trace
+}
+
+// Partition runs p on the step's snapshot, routing through the step's
+// delta-regrid PartitionPlan when the partitioner supports it.
+func (ctx *StepContext) Partition(p partition.Partitioner) (*partition.Assignment, error) {
+	if ip, ok := p.(partition.IncrementalPartitioner); ok && ctx.PartitionPlan != nil {
+		return ip.PartitionIncremental(ctx.Snap.H, ctx.WM, ctx.NProcs, ctx.PartitionPlan)
+	}
+	return p.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
 }
 
 // Strategy decides how each regrid point is partitioned. Implementations
@@ -59,7 +73,7 @@ func (s Static) Name() string { return s.P.Name() }
 
 // Assign implements Strategy.
 func (s Static) Assign(ctx *StepContext) (*partition.Assignment, string, error) {
-	a, err := s.P.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
+	a, err := ctx.Partition(s.P)
 	return a, s.P.Name(), err
 }
 
@@ -93,7 +107,7 @@ func (a Adaptive) Assign(ctx *StepContext) (*partition.Assignment, string, error
 	}
 	ctx.CycleTrace.Event("octant-classified", telemetry.String("octant", oct.String()))
 	ctx.CycleTrace.Event("partitioner-selected", telemetry.String("partitioner", p.Name()))
-	asg, err := p.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
+	asg, err := ctx.Partition(p)
 	if err != nil {
 		return nil, "", err
 	}
@@ -102,7 +116,7 @@ func (a Adaptive) Assign(ctx *StepContext) (*partition.Assignment, string, error
 		if err != nil {
 			return nil, "", err
 		}
-		alt, err := fallback.Partition(ctx.Snap.H, ctx.WM, ctx.NProcs)
+		alt, err := ctx.Partition(fallback)
 		if err != nil {
 			return nil, "", err
 		}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pragma-grid/pragma/internal/partition"
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// PartitionBenchRow compares from-scratch partitioning against the
+// delta-regrid pipeline (warm PartitionPlan) for one ISP partitioner on a
+// locality-dominated regrid delta.
+type PartitionBenchRow struct {
+	// Partitioner is the paper name (SFC, G-MISP, ...).
+	Partitioner string
+	// ScratchSeconds is the best-of-repeats wall time of one from-scratch
+	// Partition call on the delta cycle.
+	ScratchSeconds float64
+	// IncrementalSeconds is the best-of-repeats wall time of one
+	// PartitionIncremental call through a warm plan on the same delta.
+	IncrementalSeconds float64
+	// Speedup is ScratchSeconds / IncrementalSeconds.
+	Speedup float64
+	// ReusePct is the percentage of units served from the plan cache on
+	// the delta cycle.
+	ReusePct float64
+}
+
+// partitionDeltaPair is the paper-scale regrid delta: the kernelHierarchy
+// workload plus a small level-2 tracker box that drifts between cycles
+// while everything else stays put — the locality-dominated regrid the
+// paper's runtime sees when a front moves a little between regrids.
+func partitionDeltaPair() (h1, h2 *samr.Hierarchy, err error) {
+	build := func(trackerX int) (*samr.Hierarchy, error) {
+		h, err := kernelHierarchy()
+		if err != nil {
+			return nil, err
+		}
+		l2 := append([]samr.Box(nil), h.Levels[2]...)
+		l2 = append(l2, samr.Box{
+			Lo: samr.Point{trackerX, 96, 96},
+			Hi: samr.Point{trackerX + 8, 120, 120},
+		})
+		if err := h.SetLevel(2, l2); err != nil {
+			return nil, err
+		}
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	if h1, err = build(132); err != nil {
+		return nil, nil, err
+	}
+	if h2, err = build(136); err != nil {
+		return nil, nil, err
+	}
+	return h1, h2, nil
+}
+
+// PartitionBench measures every ISP partitioner from scratch and through a
+// warm PartitionPlan on the same locality-dominated delta at 64 processors.
+// Rows feed `pragma-bench -partition`, the EXPERIMENTS.md table, and the
+// -json report; the incremental output is asserted bit-identical to the
+// scratch one before any timing is trusted.
+func PartitionBench(repeats int) ([]PartitionBenchRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	h1, h2, err := partitionDeltaPair()
+	if err != nil {
+		return nil, err
+	}
+	wm := samr.UniformWorkModel{}
+	const nprocs = 64
+
+	var rows []PartitionBenchRow
+	for _, p := range partition.All() {
+		ip, ok := p.(partition.IncrementalPartitioner)
+		if !ok {
+			return nil, fmt.Errorf("partitioner %s is not incremental", p.Name())
+		}
+		// Warm the plan on h1, then time the h2<->h1 delta cycles.
+		plan := partition.NewPartitionPlan()
+		if _, err := ip.PartitionIncremental(h1, wm, nprocs, plan); err != nil {
+			return nil, err
+		}
+		want, err := p.Partition(h2, wm, nprocs)
+		if err != nil {
+			return nil, err
+		}
+		got, err := ip.PartitionIncremental(h2, wm, nprocs, plan)
+		if err != nil {
+			return nil, err
+		}
+		if len(got.Units) != len(want.Units) {
+			return nil, fmt.Errorf("%s: incremental emitted %d units, scratch %d", p.Name(), len(got.Units), len(want.Units))
+		}
+		for i := range got.Units {
+			if got.Units[i] != want.Units[i] || got.Owner[i] != want.Owner[i] {
+				return nil, fmt.Errorf("%s: incremental diverges from scratch at unit %d", p.Name(), i)
+			}
+		}
+		row := PartitionBenchRow{Partitioner: p.Name(), ReusePct: 100 * plan.LastReuseRatio()}
+		hs := [2]*samr.Hierarchy{h1, h2}
+		i := 0
+		row.ScratchSeconds = best(repeats, func() {
+			if _, err := p.Partition(hs[i%2], wm, nprocs); err != nil {
+				panic(err)
+			}
+			i++
+		})
+		j := 0
+		row.IncrementalSeconds = best(repeats, func() {
+			if _, err := ip.PartitionIncremental(hs[j%2], wm, nprocs, plan); err != nil {
+				panic(err)
+			}
+			j++
+		})
+		if row.IncrementalSeconds <= 0 {
+			return nil, fmt.Errorf("partitioner %s: degenerate timing", p.Name())
+		}
+		row.Speedup = row.ScratchSeconds / row.IncrementalSeconds
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

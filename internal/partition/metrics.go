@@ -10,3 +10,18 @@ var metricPACSeconds = telemetry.Default.Histogram(
 	"pragma_partition_pac_seconds",
 	"Wall-clock duration of one PAC communication-plan build (rasterization + fused sweep).",
 	nil)
+
+// metricPartitionSeconds times every partitioner invocation through the
+// shared ISP pipeline — decompose, curve-order, split — labeled by
+// partitioner so placement-time cost is visible per algorithm fleet-wide.
+var metricPartitionSeconds = telemetry.Default.HistogramVec(
+	"pragma_partition_seconds",
+	"Wall-clock duration of one partitioner invocation (decompose, order, split), by partitioner.",
+	nil, "partitioner")
+
+// metricPartitionReuse tracks how much of the latest incremental partition
+// was served from the PartitionPlan cache: 1 means the regrid was a pure
+// locality delta, 0 a cold from-scratch rebuild.
+var metricPartitionReuse = telemetry.Default.Gauge(
+	"pragma_partition_incremental_reuse_ratio",
+	"Fraction of units reused from the previous regrid's PartitionPlan in the latest incremental partition.")

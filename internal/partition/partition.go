@@ -9,8 +9,9 @@
 package partition
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/pragma-grid/pragma/internal/samr"
 	"github.com/pragma-grid/pragma/internal/sfc"
@@ -99,14 +100,14 @@ func (a *Assignment) Validate() error {
 		byLevel[u.Level] = append(byLevel[u.Level], u.Box)
 	}
 	for l, boxes := range byLevel {
-		sort.Slice(boxes, func(i, j int) bool {
-			if boxes[i].Lo[0] != boxes[j].Lo[0] {
-				return boxes[i].Lo[0] < boxes[j].Lo[0]
+		slices.SortFunc(boxes, func(a, b samr.Box) int {
+			if c := cmp.Compare(a.Lo[0], b.Lo[0]); c != 0 {
+				return c
 			}
-			if boxes[i].Lo[1] != boxes[j].Lo[1] {
-				return boxes[i].Lo[1] < boxes[j].Lo[1]
+			if c := cmp.Compare(a.Lo[1], b.Lo[1]); c != 0 {
+				return c
 			}
-			return boxes[i].Lo[2] < boxes[j].Lo[2]
+			return cmp.Compare(a.Lo[2], b.Lo[2])
 		})
 		for i := 0; i < len(boxes); i++ {
 			for j := i + 1; j < len(boxes) && boxes[j].Lo[0] < boxes[i].Hi[0]; j++ {
@@ -176,7 +177,7 @@ func orderUnits(units []Unit, h *samr.Hierarchy, curve sfc.Curve) {
 		cz := uint32((u.Box.Lo[2] + u.Box.Hi[2]) * scale / 2)
 		tmp[i] = keyed{key: curve.Index(cx, cy, cz), unit: u}
 	}
-	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].key < tmp[j].key })
+	slices.SortStableFunc(tmp, func(a, b keyed) int { return cmp.Compare(a.key, b.key) })
 	for i := range tmp {
 		units[i] = tmp[i].unit
 	}

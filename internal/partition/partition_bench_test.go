@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// benchDeltaPair builds a paper-scale hierarchy (the PAC kernel workload's
+// geometry: 128x32x32 base, two refined clumps, deep cores) plus a
+// locality-dominated delta: a small level-2 tracker box drifts while the
+// rest of the hierarchy — the overwhelming majority of the units — stays
+// put. This is the regrid shape the delta pipeline is built for.
+func benchDeltaPair(tb testing.TB) (h1, h2 *samr.Hierarchy) {
+	tb.Helper()
+	build := func(trackerX int) *samr.Hierarchy {
+		h, err := samr.NewHierarchy(samr.MakeBox(128, 32, 32), 2)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := h.SetLevel(1, []samr.Box{
+			{Lo: samr.Point{40, 0, 0}, Hi: samr.Point{72, 64, 64}},
+			{Lo: samr.Point{160, 16, 16}, Hi: samr.Point{224, 56, 56}},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+		if err := h.SetLevel(2, []samr.Box{
+			{Lo: samr.Point{96, 16, 16}, Hi: samr.Point{128, 112, 112}},
+			{Lo: samr.Point{352, 48, 48}, Hi: samr.Point{432, 104, 104}},
+			{Lo: samr.Point{trackerX, 96, 96}, Hi: samr.Point{trackerX + 8, 120, 120}},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+		if err := h.Validate(); err != nil {
+			tb.Fatal(err)
+		}
+		return h
+	}
+	return build(132), build(136)
+}
+
+// BenchmarkPartitionDelta measures every ISP partitioner from scratch and
+// through a warm PartitionPlan on the same alternating delta, so the
+// committed BENCH_partition.json baseline locks in both the cold-path
+// (parallel decompose + radix sort) and the incremental speedups.
+func BenchmarkPartitionDelta(b *testing.B) {
+	h1, h2 := benchDeltaPair(b)
+	wm := samr.UniformWorkModel{}
+	const nprocs = 64
+	for _, p := range All() {
+		ip := p.(IncrementalPartitioner)
+		b.Run(fmt.Sprintf("scratch/%s", p.Name()), func(b *testing.B) {
+			hs := [2]*samr.Hierarchy{h1, h2}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Partition(hs[i%2], wm, nprocs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/%s", p.Name()), func(b *testing.B) {
+			plan := NewPartitionPlan()
+			if _, err := ip.PartitionIncremental(h1, wm, nprocs, plan); err != nil {
+				b.Fatal(err)
+			}
+			hs := [2]*samr.Hierarchy{h2, h1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.PartitionIncremental(hs[i%2], wm, nprocs, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

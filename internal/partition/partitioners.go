@@ -37,18 +37,25 @@ func (SFC) Name() string { return "SFC" }
 
 // Partition implements Partitioner.
 func (p SFC) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
-	if err := checkArgs(h, nprocs); err != nil {
-		return nil, err
-	}
+	return partitionPipeline(p, h, wm, nprocs, nil)
+}
+
+// PartitionIncremental implements IncrementalPartitioner.
+func (p SFC) PartitionIncremental(h *samr.Hierarchy, wm samr.WorkModel, nprocs int, plan *PartitionPlan) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, plan)
+}
+
+func (p SFC) pipeline(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) pipelineSpec {
 	g := p.Granularity
 	if g == 0 {
 		g = granularityFor(h, nprocs, 10, 2, 20)
 	}
-	units, err := prepare(h, wm, nprocs, func() []Unit { return blockUnits(h, wm, g) }, p.Curve)
-	if err != nil {
-		return nil, err
+	return pipelineSpec{
+		decomp: decompSpec{kind: decompBlock, side: g},
+		curve:  p.Curve,
+		split:  greedyPrefix,
+		cost:   1,
 	}
-	return assemble(units, greedyPrefix(weightsOf(units), nprocs), nprocs), nil
 }
 
 // GMISP is the variable-grain geometric multilevel inverse SFC partitioner.
@@ -67,14 +74,24 @@ func (GMISP) Name() string { return "G-MISP" }
 
 // Partition implements Partitioner.
 func (p GMISP) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
-	units, err := prepare(h, wm, nprocs, func() []Unit { return p.units(h, wm, nprocs) }, p.Curve)
-	if err != nil {
-		return nil, err
-	}
-	return assemble(units, greedyPrefix(weightsOf(units), nprocs), nprocs), nil
+	return partitionPipeline(p, h, wm, nprocs, nil)
 }
 
-func (p GMISP) units(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) []Unit {
+// PartitionIncremental implements IncrementalPartitioner.
+func (p GMISP) PartitionIncremental(h *samr.Hierarchy, wm samr.WorkModel, nprocs int, plan *PartitionPlan) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, plan)
+}
+
+func (p GMISP) pipeline(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) pipelineSpec {
+	return pipelineSpec{
+		decomp: p.decomp(h, wm, nprocs),
+		curve:  p.Curve,
+		split:  greedyPrefix,
+		cost:   1,
+	}
+}
+
+func (p GMISP) decomp(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) decompSpec {
 	f := p.ThresholdFactor
 	if f == 0 {
 		f = 4
@@ -84,7 +101,11 @@ func (p GMISP) units(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) []Unit {
 		minSide = 2
 	}
 	total := samr.HierarchyWork(h, wm)
-	return variableGrainUnits(h, wm, total/(float64(nprocs)*f), minSide)
+	return decompSpec{
+		kind:      decompVarGrain,
+		threshold: total / (float64(nprocs) * f),
+		minSide:   minSide,
+	}
 }
 
 // GMISPSP is G-MISP with optimal sequence partitioning (G-MISP+SP).
@@ -99,12 +120,22 @@ func (GMISPSP) Name() string { return "G-MISP+SP" }
 
 // Partition implements Partitioner.
 func (p GMISPSP) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, nil)
+}
+
+// PartitionIncremental implements IncrementalPartitioner.
+func (p GMISPSP) PartitionIncremental(h *samr.Hierarchy, wm samr.WorkModel, nprocs int, plan *PartitionPlan) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, plan)
+}
+
+func (p GMISPSP) pipeline(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) pipelineSpec {
 	inner := GMISP{Curve: p.Curve, ThresholdFactor: p.ThresholdFactor, MinSide: p.MinSide}
-	units, err := prepare(h, wm, nprocs, func() []Unit { return inner.units(h, wm, nprocs) }, p.Curve)
-	if err != nil {
-		return nil, err
+	return pipelineSpec{
+		decomp: inner.decomp(h, wm, nprocs),
+		curve:  p.Curve,
+		split:  optimalSequence,
+		cost:   seqSplitCost,
 	}
-	return assembleWith(units, optimalSequence(weightsOf(units), nprocs), nprocs, seqSplitCost), nil
 }
 
 // PBDISP is the p-way binary dissection inverse SFC partitioner.
@@ -120,18 +151,25 @@ func (PBDISP) Name() string { return "pBD-ISP" }
 
 // Partition implements Partitioner.
 func (p PBDISP) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
-	if err := checkArgs(h, nprocs); err != nil {
-		return nil, err
-	}
+	return partitionPipeline(p, h, wm, nprocs, nil)
+}
+
+// PartitionIncremental implements IncrementalPartitioner.
+func (p PBDISP) PartitionIncremental(h *samr.Hierarchy, wm samr.WorkModel, nprocs int, plan *PartitionPlan) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, plan)
+}
+
+func (p PBDISP) pipeline(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) pipelineSpec {
 	g := p.Granularity
 	if g == 0 {
 		g = granularityFor(h, nprocs, 3, 4, 24)
 	}
-	units, err := prepare(h, wm, nprocs, func() []Unit { return blockUnits(h, wm, g) }, p.Curve)
-	if err != nil {
-		return nil, err
+	return pipelineSpec{
+		decomp: decompSpec{kind: decompBlock, side: g},
+		curve:  p.Curve,
+		split:  binaryDissection,
+		cost:   log2(nprocs),
 	}
-	return assembleWith(units, binaryDissection(weightsOf(units), nprocs), nprocs, log2(nprocs)), nil
 }
 
 // SPISP is the pure sequence partitioner with inverse SFC at fine
@@ -148,18 +186,25 @@ func (SPISP) Name() string { return "SP-ISP" }
 
 // Partition implements Partitioner.
 func (p SPISP) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
-	if err := checkArgs(h, nprocs); err != nil {
-		return nil, err
-	}
+	return partitionPipeline(p, h, wm, nprocs, nil)
+}
+
+// PartitionIncremental implements IncrementalPartitioner.
+func (p SPISP) PartitionIncremental(h *samr.Hierarchy, wm samr.WorkModel, nprocs int, plan *PartitionPlan) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, plan)
+}
+
+func (p SPISP) pipeline(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) pipelineSpec {
 	g := p.Granularity
 	if g == 0 {
 		g = granularityFor(h, nprocs, 48, 2, 8)
 	}
-	units, err := prepare(h, wm, nprocs, func() []Unit { return blockUnits(h, wm, g) }, p.Curve)
-	if err != nil {
-		return nil, err
+	return pipelineSpec{
+		decomp: decompSpec{kind: decompBlock, side: g},
+		curve:  p.Curve,
+		split:  optimalSequence,
+		cost:   seqSplitCost,
 	}
-	return assembleWith(units, optimalSequence(weightsOf(units), nprocs), nprocs, seqSplitCost), nil
 }
 
 // ISP is the plain fine-granularity inverse SFC partitioner.
@@ -175,18 +220,25 @@ func (ISP) Name() string { return "ISP" }
 
 // Partition implements Partitioner.
 func (p ISP) Partition(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) (*Assignment, error) {
-	if err := checkArgs(h, nprocs); err != nil {
-		return nil, err
-	}
+	return partitionPipeline(p, h, wm, nprocs, nil)
+}
+
+// PartitionIncremental implements IncrementalPartitioner.
+func (p ISP) PartitionIncremental(h *samr.Hierarchy, wm samr.WorkModel, nprocs int, plan *PartitionPlan) (*Assignment, error) {
+	return partitionPipeline(p, h, wm, nprocs, plan)
+}
+
+func (p ISP) pipeline(h *samr.Hierarchy, wm samr.WorkModel, nprocs int) pipelineSpec {
 	g := p.Granularity
 	if g == 0 {
 		g = granularityFor(h, nprocs, 48, 2, 8)
 	}
-	units, err := prepare(h, wm, nprocs, func() []Unit { return blockUnits(h, wm, g) }, p.Curve)
-	if err != nil {
-		return nil, err
+	return pipelineSpec{
+		decomp: decompSpec{kind: decompBlock, side: g},
+		curve:  p.Curve,
+		split:  greedyPrefix,
+		cost:   1,
 	}
-	return assemble(units, greedyPrefix(weightsOf(units), nprocs), nprocs), nil
 }
 
 // ByName returns the partitioner registered under the paper's name, or an

@@ -1,0 +1,372 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/pragma-grid/pragma/internal/samr"
+)
+
+// The delta-regrid pipeline's contract (DESIGN.md §16): for any sequence of
+// hierarchy deltas, any work model, any processor count, any GOMAXPROCS,
+// and any plan state (warm, cold, or nil), every incremental partitioner
+// output is bit-identical to ReferencePartition — the retained sequential
+// from-scratch pipeline. These tests mirror the PAC kernel's
+// TestCommPlanDifferentialRandom / TestCommPlanGOMAXPROCSInvariance.
+
+// clampBox intersects b with dom; an empty result is reported as the zero
+// box, which Validate rejects (the caller retries the mutation).
+func clampBox(b, dom samr.Box) samr.Box {
+	inter, ok := b.Intersect(dom)
+	if !ok {
+		return samr.Box{}
+	}
+	return inter
+}
+
+func appendRandomBox(c *samr.Hierarchy, rng *rand.Rand) bool {
+	dom := c.LevelDomain(1)
+	lo := samr.Point{
+		dom.Lo[0] + rng.Intn(max(dom.Dx(0)-4, 1)),
+		dom.Lo[1] + rng.Intn(max(dom.Dx(1)-4, 1)),
+		dom.Lo[2] + rng.Intn(max(dom.Dx(2)-4, 1)),
+	}
+	b := clampBox(samr.Box{Lo: lo, Hi: samr.Point{
+		lo[0] + 2 + rng.Intn(8), lo[1] + 2 + rng.Intn(6), lo[2] + 2 + rng.Intn(6)}}, dom)
+	if b.Empty() {
+		return false
+	}
+	if len(c.Levels) < 2 {
+		return c.SetLevel(1, []samr.Box{b}) == nil
+	}
+	c.Levels[1] = append(append([]samr.Box(nil), c.Levels[1]...), b)
+	return true
+}
+
+func mutateOnce(c *samr.Hierarchy, rng *rand.Rand) bool {
+	if len(c.Levels) < 2 || len(c.Levels[1]) == 0 {
+		return appendRandomBox(c, rng)
+	}
+	boxes := c.Levels[1]
+	i := rng.Intn(len(boxes))
+	dom := c.LevelDomain(1)
+	switch rng.Intn(6) {
+	case 0: // grow one face
+		b := boxes[i]
+		d := rng.Intn(3)
+		if rng.Intn(2) == 0 {
+			b.Lo[d] -= 1 + rng.Intn(3)
+		} else {
+			b.Hi[d] += 1 + rng.Intn(3)
+		}
+		boxes[i] = clampBox(b, dom)
+	case 1: // shrink one face
+		b := boxes[i]
+		d := rng.Intn(3)
+		n := 1 + rng.Intn(2)
+		if b.Dx(d) <= n+1 {
+			return false
+		}
+		if rng.Intn(2) == 0 {
+			b.Lo[d] += n
+		} else {
+			b.Hi[d] -= n
+		}
+		boxes[i] = b
+	case 2: // move
+		sh := samr.Point{rng.Intn(7) - 3, rng.Intn(5) - 2, rng.Intn(5) - 2}
+		boxes[i] = clampBox(boxes[i].Shift(sh), dom)
+	case 3: // vanish
+		c.Levels[1] = append(boxes[:i:i], boxes[i+1:]...)
+		if len(c.Levels[1]) == 0 {
+			c.Levels = c.Levels[:1]
+		}
+	case 4: // appear
+		return appendRandomBox(c, rng)
+	case 5: // toggle a level-2 core nested in box i (depth change)
+		if len(c.Levels) > 2 && rng.Intn(2) == 0 {
+			c.Levels = c.Levels[:2]
+			return true
+		}
+		b := boxes[i]
+		if b.Dx(0) < 4 || b.Dx(1) < 4 || b.Dx(2) < 4 {
+			return false
+		}
+		core := samr.Box{
+			Lo: samr.Point{b.Lo[0] + 1, b.Lo[1] + 1, b.Lo[2] + 1},
+			Hi: samr.Point{b.Hi[0] - 1, b.Hi[1] - 1, b.Hi[2] - 1},
+		}.Refine(c.Ratio)
+		return c.SetLevel(2, []samr.Box{core}) == nil
+	}
+	return true
+}
+
+// mutateHierarchy applies one random structural delta (grow / shrink /
+// move / appear / vanish a level-1 box, or toggle a level-2 core) and
+// returns a new valid hierarchy. Deltas violating hierarchy invariants
+// (overlap, escape, nesting) are discarded and retried; after 8 failed
+// attempts the input is returned unchanged.
+func mutateHierarchy(h *samr.Hierarchy, rng *rand.Rand) *samr.Hierarchy {
+	for attempt := 0; attempt < 8; attempt++ {
+		c := h.Clone()
+		if mutateOnce(c, rng) && c.Validate() == nil {
+			return c
+		}
+	}
+	return h
+}
+
+func requireSameAssignment(t *testing.T, label string, inc, ref *Assignment) {
+	t.Helper()
+	if !reflect.DeepEqual(inc, ref) {
+		t.Fatalf("%s: incremental assignment diverges from from-scratch reference\nincremental: nunits=%d owner=%v\nreference:   nunits=%d owner=%v",
+			label, len(inc.Units), inc.Owner, len(ref.Units), ref.Owner)
+	}
+}
+
+func TestDeltaPartitionDifferentialRandom(t *testing.T) {
+	iters := 30
+	cycles := 6
+	if testing.Short() {
+		iters = 8
+	}
+	rng := rand.New(rand.NewSource(11))
+	for it := 0; it < iters; it++ {
+		h := randomHierarchy(rng.Int63())
+		plan := NewPartitionPlan()
+		nprocs := 1 + rng.Intn(24)
+		var wm samr.WorkModel = samr.UniformWorkModel{}
+		for cycle := 0; cycle < cycles; cycle++ {
+			if cycle > 0 {
+				h = mutateHierarchy(h, rng)
+				if rng.Intn(4) == 0 {
+					nprocs = 1 + rng.Intn(24)
+				}
+				switch rng.Intn(8) {
+				case 0:
+					// Changed comparable model: cached weights must not leak.
+					wm = samr.UniformWorkModel{CellCost: 1 + float64(rng.Intn(3))}
+				case 1:
+					// Uncomparable model: reuse must disable itself.
+					wm = samr.FrontWorkModel{
+						Base:   samr.UniformWorkModel{},
+						Fronts: []samr.Front{{Region: h.Domain, Multiplier: 2.5}},
+					}
+				}
+			}
+			for _, p := range All() {
+				ip := p.(IncrementalPartitioner)
+				inc, errInc := ip.PartitionIncremental(h, wm, nprocs, plan)
+				ref, errRef := ReferencePartition(p, h, wm, nprocs)
+				if (errInc != nil) != (errRef != nil) {
+					t.Fatalf("iter %d cycle %d %s: incremental err %v, reference err %v",
+						it, cycle, p.Name(), errInc, errRef)
+				}
+				if errInc != nil {
+					continue
+				}
+				requireSameAssignment(t, p.Name(), inc, ref)
+			}
+		}
+	}
+}
+
+// deltaSequence is a deterministic 3-level regrid sequence: the paper-style
+// blob's level-2 core drifts, then a level-1 slab shrinks — the
+// locality-dominated deltas the pipeline is built for.
+func deltaSequence(t testing.TB) []*samr.Hierarchy {
+	t.Helper()
+	h0 := testHierarchy(t)
+	h1 := h0.Clone()
+	h1.Levels[2] = []samr.Box{{Lo: samr.Point{174, 50, 50}, Hi: samr.Point{218, 86, 86}}}
+	h2 := h1.Clone()
+	h2.Levels[1] = append([]samr.Box(nil), h2.Levels[1]...)
+	h2.Levels[1][0] = samr.Box{Lo: samr.Point{20, 0, 0}, Hi: samr.Point{34, 64, 64}}
+	for i, h := range []*samr.Hierarchy{h0, h1, h2} {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+	}
+	return []*samr.Hierarchy{h0, h1, h2}
+}
+
+func TestDeltaPartitionGOMAXPROCSInvariance(t *testing.T) {
+	seq := deltaSequence(t)
+	wm := samr.UniformWorkModel{}
+	const nprocs = 13
+
+	run := func() map[string][]*Assignment {
+		out := map[string][]*Assignment{}
+		plan := NewPartitionPlan()
+		for _, h := range seq {
+			for _, p := range All() {
+				a, err := p.(IncrementalPartitioner).PartitionIncremental(h, wm, nprocs, plan)
+				if err != nil {
+					t.Fatalf("%s: %v", p.Name(), err)
+				}
+				out[p.Name()] = append(out[p.Name()], a)
+			}
+		}
+		return out
+	}
+
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	runtime.GOMAXPROCS(1)
+	want := run()
+	for _, procs := range []int{2, 3, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := run()
+		for name, as := range got {
+			for i, a := range as {
+				requireSameAssignment(t, name, a, want[name][i])
+			}
+		}
+	}
+}
+
+// TestDeltaPartitionColdPlanMatchesWarm proves resume-from-checkpoint
+// semantics: a cold plan (fresh after resume), a warm plan, and no plan at
+// all agree bit-for-bit on the same hierarchy.
+func TestDeltaPartitionColdPlanMatchesWarm(t *testing.T) {
+	seq := deltaSequence(t)
+	wm := samr.UniformWorkModel{}
+	const nprocs = 9
+	warm := NewPartitionPlan()
+	for _, p := range All() {
+		ip := p.(IncrementalPartitioner)
+		var last *Assignment
+		for _, h := range seq {
+			a, err := ip.PartitionIncremental(h, wm, nprocs, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = a
+		}
+		final := seq[len(seq)-1]
+		cold, err := ip.PartitionIncremental(final, wm, nprocs, NewPartitionPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := p.Partition(final, wm, nprocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAssignment(t, p.Name()+" cold-vs-warm", cold, last)
+		requireSameAssignment(t, p.Name()+" nil-plan-vs-warm", plain, last)
+	}
+}
+
+func TestPartitionPlanReuse(t *testing.T) {
+	seq := deltaSequence(t)
+	wm := samr.UniformWorkModel{}
+	plan := NewPartitionPlan()
+	p := SFC{}
+	if _, err := p.PartitionIncremental(seq[0], wm, 16, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.LastReuseRatio(); got != 0 {
+		t.Fatalf("cold build reuse ratio = %v, want 0", got)
+	}
+	if _, err := p.PartitionIncremental(seq[1], wm, 16, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.LastReuseRatio(); got < 0.5 {
+		t.Fatalf("locality delta reuse ratio = %v, want >= 0.5", got)
+	}
+	reused, total := plan.Stats()
+	if reused <= 0 || total <= reused {
+		t.Fatalf("stats reused=%d total=%d, want 0 < reused < total", reused, total)
+	}
+}
+
+// granularityForProbe is the original linear-probe implementation, kept as
+// the table-test oracle for the closed-form cube-root version.
+func granularityForProbe(h *samr.Hierarchy, nprocs, targetUnitsPerProc, minSide, maxSide int) int {
+	var cells int64
+	for l := range h.Levels {
+		cells += h.CellsAtLevel(l)
+	}
+	target := int64(nprocs * targetUnitsPerProc)
+	if target < 1 {
+		target = 1
+	}
+	side := minSide
+	for side < maxSide {
+		next := side + 1
+		perUnit := int64(next) * int64(next) * int64(next)
+		if cells/perUnit < target {
+			break
+		}
+		side = next
+	}
+	return side
+}
+
+func TestGranularityForMatchesProbe(t *testing.T) {
+	tiny, err := samr.NewHierarchy(samr.MakeBox(1, 1, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := []*samr.Hierarchy{tiny, testHierarchy(t), randomHierarchy(3), randomHierarchy(99)}
+	for _, h := range hs {
+		for _, nprocs := range []int{1, 2, 7, 16, 64, 333} {
+			for _, target := range []int{0, 1, 3, 10, 48} {
+				for minSide := 1; minSide <= 6; minSide++ {
+					for maxSide := minSide; maxSide <= minSide+25; maxSide += 5 {
+						got := granularityFor(h, nprocs, target, minSide, maxSide)
+						want := granularityForProbe(h, nprocs, target, minSide, maxSide)
+						if got != want {
+							t.Fatalf("granularityFor(cells of %v, nprocs=%d, target=%d, min=%d, max=%d) = %d, probe = %d",
+								h.Domain, nprocs, target, minSide, maxSide, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func FuzzDeltaPartition(f *testing.F) {
+	f.Add(int64(1), uint8(4), []byte{0, 1, 2})
+	f.Add(int64(7), uint8(1), []byte{3, 4, 5, 0})
+	f.Add(int64(42), uint8(16), []byte{5, 5, 2, 2, 1})
+	f.Add(int64(-3), uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, procsRaw uint8, ops []byte) {
+		h := randomHierarchy(seed)
+		nprocs := 1 + int(procsRaw%24)
+		var wm samr.WorkModel = samr.UniformWorkModel{}
+		plan := NewPartitionPlan()
+		if len(ops) > 5 {
+			ops = ops[:5]
+		}
+		for cycle := 0; cycle <= len(ops); cycle++ {
+			if cycle > 0 {
+				op := ops[cycle-1]
+				rng := rand.New(rand.NewSource(seed ^ int64(op)*1099511628211 ^ int64(cycle)))
+				h = mutateHierarchy(h, rng)
+				if op%7 == 6 {
+					nprocs = 1 + int(op)%24
+				}
+				if op%11 == 10 {
+					wm = samr.UniformWorkModel{CellCost: 2}
+				}
+			}
+			for _, p := range All() {
+				inc, errInc := p.(IncrementalPartitioner).PartitionIncremental(h, wm, nprocs, plan)
+				ref, errRef := ReferencePartition(p, h, wm, nprocs)
+				if (errInc != nil) != (errRef != nil) {
+					t.Fatalf("%s: incremental err %v, reference err %v", p.Name(), errInc, errRef)
+				}
+				if errInc != nil {
+					continue
+				}
+				if !reflect.DeepEqual(inc, ref) {
+					t.Fatalf("%s cycle %d: incremental diverges from reference", p.Name(), cycle)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"math"
+
 	"github.com/pragma-grid/pragma/internal/samr"
 )
 
@@ -22,9 +24,9 @@ func blockUnits(h *samr.Hierarchy, wm samr.WorkModel, side int) []Unit {
 						blk := samr.Box{
 							Lo: samr.Point{x, y, z},
 							Hi: samr.Point{
-								minInt(x+side, b.Hi[0]),
-								minInt(y+side, b.Hi[1]),
-								minInt(z+side, b.Hi[2]),
+								min(x+side, b.Hi[0]),
+								min(y+side, b.Hi[1]),
+								min(z+side, b.Hi[2]),
 							},
 						}
 						units = append(units, Unit{Level: l, Box: blk, Weight: wm.BoxWork(h, l, blk)})
@@ -71,19 +73,15 @@ func variableGrainUnits(h *samr.Hierarchy, wm samr.WorkModel, threshold float64,
 	return units
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // granularityFor picks a block side so the decomposition yields roughly
 // targetUnitsPerProc*nprocs units, clamped to [minSide, maxSide]. Fixed
 // granularities behave pathologically when the refined region shrinks (a
 // thin shock sheet at coarse granularity can yield fewer units than
 // processors), so the default granularity of every ISP partitioner adapts
-// to the hierarchy.
+// to the hierarchy. The side is the largest s with s^3 <= cells/target —
+// the integer cube root of cells/target — computed directly (with a
+// float-seed correction, since math.Cbrt can land one off for large
+// values) rather than by linear probing.
 func granularityFor(h *samr.Hierarchy, nprocs, targetUnitsPerProc, minSide, maxSide int) int {
 	var cells int64
 	for l := range h.Levels {
@@ -93,14 +91,16 @@ func granularityFor(h *samr.Hierarchy, nprocs, targetUnitsPerProc, minSide, maxS
 	if target < 1 {
 		target = 1
 	}
-	side := minSide
-	for side < maxSide {
-		next := side + 1
-		perUnit := int64(next) * int64(next) * int64(next)
-		if cells/perUnit < target {
-			break
-		}
-		side = next
+	per := cells / target
+	side := int(math.Cbrt(float64(per)))
+	for cube(side+1) <= per {
+		side++
 	}
-	return side
+	for side > 0 && cube(side) > per {
+		side--
+	}
+	side = min(side, maxSide)
+	return max(side, minSide)
 }
+
+func cube(s int) int64 { return int64(s) * int64(s) * int64(s) }
