@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-scenario test-fleet fleet-smoke vet bench bench-telemetry bench-pac bench-partition bench-sched bench-serve bench-gate bench-baseline load-smoke experiments ablations extensions fmt cover clean
+.PHONY: build test test-short test-scenario test-fleet fleet-smoke preempt-smoke vet bench bench-telemetry bench-pac bench-partition bench-sched bench-serve bench-gate bench-baseline load-smoke experiments ablations extensions fmt cover clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ test-fleet:
 fleet-smoke:
 	bash scripts/fleet_smoke.sh
 
+# Weighted-fairness/preemption rehearsal: saturate a live pragma-node with a
+# weight-1 and a weight-4 tenant, assert the completed-work ratio tracks the
+# weights and that checkpoint-preempted runs all finish.
+preempt-smoke:
+	bash scripts/preempt_smoke.sh
+
 # One timed regeneration of every table, figure and ablation.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -57,7 +63,7 @@ bench-partition:
 
 # Scheduler benchmarks: admission/fair-queue/worker hand-off overhead.
 bench-sched:
-	$(GO) test -bench='Scheduler|FairQueue' -benchmem -run='^$$' ./internal/sched/
+	$(GO) test -bench='Scheduler|FairQueue|WeightedQueue' -benchmem -run='^$$' ./internal/sched/
 
 # Serving-surface benchmarks: pooled /sched and /metrics.json encoders
 # (must stay 0 allocs/op) and event-hub publish overhead.
@@ -69,14 +75,14 @@ bench-serve:
 bench-gate:
 	$(GO) test -bench='EvalQuality|Adjacency|CommPlan|Migration' -benchmem -run='^$$' -count=6 ./internal/partition/ | $(GO) run ./cmd/benchgate -baseline BENCH_pac.json
 	$(GO) test -bench='PartitionDelta' -benchmem -run='^$$' -count=6 ./internal/partition/ | $(GO) run ./cmd/benchgate -baseline BENCH_partition.json
-	$(GO) test -bench='Scheduler|FairQueue' -benchmem -run='^$$' -count=6 ./internal/sched/ | $(GO) run ./cmd/benchgate -baseline BENCH_sched.json
+	$(GO) test -bench='Scheduler|FairQueue|WeightedQueue' -benchmem -run='^$$' -count=6 ./internal/sched/ | $(GO) run ./cmd/benchgate -baseline BENCH_sched.json
 	$(GO) test -bench='Serve' -benchmem -run='^$$' -count=6 ./internal/sched/ ./internal/stream/ ./internal/telemetry/ | $(GO) run ./cmd/benchgate -baseline BENCH_serve.json
 
 # Refresh the committed baselines from this machine (commit the result).
 bench-baseline:
 	$(GO) test -bench='EvalQuality|Adjacency|CommPlan|Migration' -benchmem -run='^$$' -count=6 ./internal/partition/ | $(GO) run ./cmd/benchgate -baseline BENCH_pac.json -update
 	$(GO) test -bench='PartitionDelta' -benchmem -run='^$$' -count=6 ./internal/partition/ | $(GO) run ./cmd/benchgate -baseline BENCH_partition.json -update
-	$(GO) test -bench='Scheduler|FairQueue' -benchmem -run='^$$' -count=6 ./internal/sched/ | $(GO) run ./cmd/benchgate -baseline BENCH_sched.json -update
+	$(GO) test -bench='Scheduler|FairQueue|WeightedQueue' -benchmem -run='^$$' -count=6 ./internal/sched/ | $(GO) run ./cmd/benchgate -baseline BENCH_sched.json -update
 	$(GO) test -bench='Serve' -benchmem -run='^$$' -count=6 ./internal/sched/ ./internal/stream/ ./internal/telemetry/ | $(GO) run ./cmd/benchgate -baseline BENCH_serve.json -update
 
 # Open-loop load smoke against an in-process scheduler: a short ramp must

@@ -32,6 +32,12 @@
 //	curl -X POST 'http://127.0.0.1:9090/sched/submit?tenant=acme&name=run1&strategy=adaptive'
 //	curl -X POST  http://127.0.0.1:9090/sched/drain
 //
+// Tenants share the pool by weighted max-min fairness: submit with
+// weight=4 and the tenant completes ~4x a weight-1 tenant's work under
+// saturation, with an under-share submit preempting the most over-share
+// running run at its next regrid boundary (it checkpoints and resumes
+// later, bit-identically).
+//
 // On SIGINT the scheduler drains gracefully: in-flight runs checkpoint at
 // their next regrid boundary and report as resumable.
 //

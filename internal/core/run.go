@@ -68,6 +68,30 @@ type RunConfig struct {
 // CheckpointDir was configured, so the run is resumable.
 var ErrInterrupted = errors.New("run interrupted at regrid boundary")
 
+// InterruptedError is the concrete error an interrupted Run returns. It
+// wraps ErrInterrupted (errors.Is keeps matching) and records where the
+// run stopped, so callers that requeue interrupted work — the scheduler's
+// checkpoint-based preemption — can account the exact progress this
+// attempt made instead of guessing from wall time, and distinguish a
+// drain (the whole pool is stopping) from a preemption (this one run
+// yielded its worker) by their own bookkeeping.
+type InterruptedError struct {
+	// Next is the first regrid interval that has not run: intervals
+	// [0, Next) are complete and, when a checkpoint store is configured,
+	// persisted. A Resume against the same CheckpointDir continues at
+	// Next.
+	Next int
+	// Completed counts the intervals this attempt finished before the
+	// interrupt landed (Next minus the interval the attempt started at).
+	Completed int
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("core: regrid %d: %v", e.Next, ErrInterrupted)
+}
+
+func (e *InterruptedError) Unwrap() error { return ErrInterrupted }
+
 // interrupted reports whether the interrupt channel has fired. Closing the
 // channel is the intended signal; a single sent value also works but only
 // interrupts one of the runs sharing the channel.
@@ -242,7 +266,7 @@ func Run(tr *samr.Trace, strat Strategy, cfg RunConfig) (*RunResult, error) {
 				}
 			}
 			metricInterrupts.Inc()
-			return nil, fmt.Errorf("core: regrid %d: %w", idx, ErrInterrupted)
+			return nil, &InterruptedError{Next: idx, Completed: idx - startIdx}
 		}
 		snap := tr.Snapshots[idx]
 		regridStart := time.Now()

@@ -177,6 +177,13 @@ func SpecFromValues(v url.Values) (WireSpec, error) {
 		}
 		ws.Resume = b
 	}
+	if s := v.Get("weight"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			return WireSpec{}, fmt.Errorf("fleet: bad weight: must be a positive number")
+		}
+		ws.Weight = f
+	}
 	return ws, nil
 }
 

@@ -648,7 +648,7 @@ func (r *Router) runLocal(rn *run, resume bool) {
 		r.finish(rn, StateFailed, fmt.Sprintf("materialize: %v", err), false, nil)
 		return
 	}
-	st, err := r.local.Submit(sched.SubmitRequest{Tenant: rn.tenant, Priority: rn.priority, Spec: rs})
+	st, err := r.local.Submit(sched.SubmitRequest{Tenant: rn.tenant, Priority: rn.priority, Weight: rn.spec.Weight, Spec: rs})
 	if err != nil {
 		if errors.Is(err, sched.ErrDraining) {
 			r.finishUnplaced(rn)

@@ -42,6 +42,11 @@ type WireSpec struct {
 	// failure-rehearsal knob: the fleet smoke test uses it to keep runs in
 	// flight long enough to SIGKILL a worker mid-run.
 	RegridDelayMS int `json:"regridDelayMs,omitempty"`
+	// Weight is the tenant's fair-share weight (0 = keep current /
+	// default). It travels with the dispatch so a run routed to a worker —
+	// or failed over to a survivor — keeps its proportional share in the
+	// worker's local scheduler.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // Materializer turns a WireSpec into an executable run spec. Workers and

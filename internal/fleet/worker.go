@@ -220,7 +220,7 @@ func (w *Worker) handleDispatch(d dispatchMsg) {
 		ack(fmt.Sprintf("materialize: %v", err))
 		return
 	}
-	st, err := w.pool.Submit(sched.SubmitRequest{Tenant: d.Tenant, Spec: spec})
+	st, err := w.pool.Submit(sched.SubmitRequest{Tenant: d.Tenant, Weight: d.Spec.Weight, Spec: spec})
 	if err != nil {
 		ack(err.Error())
 		return

@@ -57,3 +57,24 @@ func BenchmarkFairQueueChurn(b *testing.B) {
 		fq.push(r)
 	}
 }
+
+// BenchmarkWeightedQueue measures the weighted pop path: 16 tenants with
+// distinct accumulated service, so every pop takes the least-service scan
+// rather than the uncharged round-robin fast path.
+func BenchmarkWeightedQueue(b *testing.B) {
+	fq := newFairQueue()
+	weights := make([]float64, 16)
+	for i := range weights {
+		weights[i] = float64(1 + i%8)
+		tenant := string(rune('a' + i))
+		fq.push(&run{tenant: tenant, priority: 0})
+		fq.charge(0, tenant, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := fq.pop()
+		fq.charge(0, r.tenant, 1/weights[int(r.tenant[0]-'a')])
+		fq.push(r)
+	}
+}

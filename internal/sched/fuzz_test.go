@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzFairQueue drives random push/pushFront/pop/charge/tenantExit
+// sequences against a flat model and checks the queue's invariants: no run
+// is lost or duplicated, pops never skip a higher band, normalized service
+// only grows under charge, and tenantExit zeroes it.
+func FuzzFairQueue(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x21, 0x02, 0x13})       // push A/B/C then pops
+	f.Add([]byte{0x00, 0x00, 0x30, 0x20, 0x01, 0x40}) // charges, pop, exit
+	f.Add([]byte{0x10, 0x05, 0x12, 0x20, 0x20, 0x20}) // pushFront mixes
+	f.Add([]byte{0x31, 0x31, 0x01, 0x11, 0x21, 0x41}) // heavy charge + exit
+	f.Add([]byte{0x02, 0x12, 0x22, 0x32, 0x42, 0x00}) // one band churn
+	f.Add([]byte{0x00, 0x11, 0x22, 0x30, 0x41, 0x20}) // cross-band sweep
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		fq := newFairQueue()
+		queued := map[string]int{}      // run id -> count queued (must stay 0/1)
+		bandN := map[int]int{}          // priority -> queued run count
+		service := map[string]float64{} // "prio/tenant" -> last observed service
+		total, seq := 0, 0
+		for _, op := range ops {
+			tenant := string(rune('A' + (op>>2)&3))
+			prio := int(op>>4) % 3
+			key := fmt.Sprintf("%d/%s", prio, tenant)
+			switch op & 3 {
+			case 0: // push
+				seq++
+				id := fmt.Sprintf("r%d", seq)
+				fq.push(&run{id: id, tenant: tenant, priority: prio})
+				queued[id]++
+				bandN[prio]++
+				total++
+			case 1: // pushFront
+				seq++
+				id := fmt.Sprintf("f%d", seq)
+				fq.pushFront(&run{id: id, tenant: tenant, priority: prio})
+				queued[id]++
+				bandN[prio]++
+				total++
+			case 2: // pop
+				r := fq.pop()
+				if total == 0 {
+					if r != nil {
+						t.Fatalf("pop on empty queue returned %q", r.id)
+					}
+					continue
+				}
+				if r == nil {
+					t.Fatalf("pop returned nil with %d runs queued", total)
+				}
+				if queued[r.id] != 1 {
+					t.Fatalf("popped run %q queued-count %d (lost or duplicated)", r.id, queued[r.id])
+				}
+				queued[r.id] = 0
+				for p, n := range bandN {
+					if p > r.priority && n > 0 {
+						t.Fatalf("popped band %d while band %d had %d queued runs", r.priority, p, n)
+					}
+				}
+				bandN[r.priority]--
+				total--
+			case 3: // charge one normalized unit
+				got := fq.charge(prio, tenant, 1)
+				if want := service[key] + 1; got != want {
+					t.Fatalf("charge(%s) returned %v, want %v", key, got, want)
+				}
+				service[key] = got
+				if got2 := fq.service(prio, tenant); got2 != got {
+					t.Fatalf("service(%s) = %v right after charge returned %v", key, got2, got)
+				}
+			}
+			if op&3 == 3 && op>>6 == 1 { // high bits turn a charge into charge+exit
+				fq.tenantExit(tenant)
+				for p := 0; p < 3; p++ {
+					k := fmt.Sprintf("%d/%s", p, tenant)
+					service[k] = 0
+					if got := fq.service(p, tenant); got != 0 {
+						t.Fatalf("service(%s) = %v after tenantExit, want 0", k, got)
+					}
+				}
+			}
+			if fq.len() != total {
+				t.Fatalf("len() = %d, model has %d", fq.len(), total)
+			}
+		}
+		rest := fq.drainAll()
+		if len(rest) != total {
+			t.Fatalf("drainAll returned %d runs, model has %d", len(rest), total)
+		}
+		for _, r := range rest {
+			if queued[r.id] != 1 {
+				t.Fatalf("drained run %q queued-count %d (lost or duplicated)", r.id, queued[r.id])
+			}
+			queued[r.id] = 0
+		}
+		for id, n := range queued {
+			if n != 0 {
+				t.Fatalf("run %q never drained (count %d)", id, n)
+			}
+		}
+	})
+}

@@ -50,6 +50,18 @@ func Handler(s *Scheduler, build SpecBuilder) http.Handler {
 			}
 			priority = n
 		}
+		// weight= sets the tenant's fair-share weight (default 1, clamped
+		// into [MinWeight, MaxWeight]): under saturation a weight-3 tenant
+		// completes ~3x the work of a weight-1 tenant in the same band.
+		var weight float64
+		if ws := v.Get("weight"); ws != "" {
+			f, err := strconv.ParseFloat(ws, 64)
+			if err != nil || f <= 0 {
+				httpError(w, http.StatusBadRequest, "bad weight: must be a positive number")
+				return
+			}
+			weight = f
+		}
 		spec, err := build(tenant, priority, v)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
@@ -60,7 +72,7 @@ func Handler(s *Scheduler, build SpecBuilder) http.Handler {
 		if spec.Wire == nil {
 			spec.Wire = v
 		}
-		st, err := s.Submit(SubmitRequest{Tenant: tenant, Priority: priority, Spec: spec})
+		st, err := s.Submit(SubmitRequest{Tenant: tenant, Priority: priority, Weight: weight, Spec: spec})
 		switch {
 		case errors.Is(err, ErrSaturated), errors.Is(err, ErrTenantLimit):
 			w.Header().Set("Retry-After", "1")

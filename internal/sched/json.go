@@ -20,6 +20,8 @@ func appendStatusJSON(b *jsonenc.Buffer, st *RunStatus) {
 	b.String(st.Tenant)
 	b.Raw(`,"priority":`)
 	b.Int(int64(st.Priority))
+	b.Raw(`,"weight":`)
+	b.Float(st.Weight)
 	b.Raw(`,"state":`)
 	b.String(string(st.State))
 	b.Raw(`,"submitted":`)
@@ -36,6 +38,10 @@ func appendStatusJSON(b *jsonenc.Buffer, st *RunStatus) {
 	b.Float(st.QueueSeconds)
 	b.Raw(`,"runSeconds":`)
 	b.Float(st.RunSeconds)
+	if st.Preemptions != 0 {
+		b.Raw(`,"preemptions":`)
+		b.Int(int64(st.Preemptions))
+	}
 	if st.Error != "" {
 		b.Raw(`,"error":`)
 		b.String(st.Error)

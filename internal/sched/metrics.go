@@ -40,6 +40,29 @@ var (
 	metricDrains = telemetry.Default.Counter(
 		"pragma_sched_drains_total",
 		"Graceful drains initiated.")
+	metricPreemptions = telemetry.Default.Counter(
+		"pragma_sched_preemptions_total",
+		"Checkpoint-based preemptions fired: a saturated pool interrupted its most "+
+			"over-share running run, which checkpointed at its next regrid boundary "+
+			"and was requeued resumable.")
+	metricTenantWeight = telemetry.Default.GaugeVec(
+		"pragma_sched_tenant_weight",
+		"Fair-share weight currently in force for the tenant.",
+		"tenant")
+	metricTenantService = telemetry.Default.GaugeVec(
+		"pragma_sched_tenant_service",
+		"Normalized service (cost units / weight) the tenant has accumulated in its "+
+			"current active period; resets when its last run finishes.",
+		"tenant")
+	metricTenantCost = telemetry.Default.GaugeVec(
+		"pragma_sched_tenant_cost",
+		"Cumulative completed cost units (regrid intervals, or wall-seconds for runs "+
+			"reporting none) charged to the tenant. Monotonic per process.",
+		"tenant")
+	metricNormalizedService = telemetry.Default.Histogram(
+		"pragma_sched_run_normalized_service",
+		"Normalized service (cost / tenant weight) charged per completed run attempt.",
+		[]float64{.001, .01, .1, .25, .5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000})
 
 	// Pre-resolved admission verdict children: Submit is the API hot path.
 	admitAccepted  = metricAdmissions.With("accepted")
@@ -47,3 +70,29 @@ var (
 	admitTenant    = metricAdmissions.With("rejected_tenant_limit")
 	admitDraining  = metricAdmissions.With("rejected_draining")
 )
+
+// tenantGauges are a tenant's pre-resolved metric children. Submit and the
+// completion charge both touch them, so the Scheduler caches one per tenant
+// name rather than paying a Vec lookup (and its label-slice allocation) per
+// run.
+type tenantGauges struct {
+	weight  *telemetry.Gauge
+	service *telemetry.Gauge
+	cost    *telemetry.Gauge
+}
+
+// gaugesLocked returns the cached handles for tenant, resolving them on
+// first use. Entries live for the process (like the metric children
+// themselves) — they are not dropped on tenantExit. Callers hold s.mu.
+func (s *Scheduler) gaugesLocked(tenant string) *tenantGauges {
+	g := s.gauges[tenant]
+	if g == nil {
+		g = &tenantGauges{
+			weight:  metricTenantWeight.With(tenant),
+			service: metricTenantService.With(tenant),
+			cost:    metricTenantCost.With(tenant),
+		}
+		s.gauges[tenant] = g
+	}
+	return g
+}

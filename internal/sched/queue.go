@@ -1,10 +1,20 @@
 package sched
 
 // fairQueue is the admission queue: priority bands ordered highest-first,
-// and inside each band one FIFO per tenant served round-robin. A flood of
-// submissions from one tenant therefore cannot starve another tenant at
-// the same priority — each rotation hands every waiting tenant exactly one
-// slot — while a higher band always preempts the bands below it.
+// and inside each band one FIFO per tenant served by weighted max-min
+// fairness with proportional allocation. Each band tracks the normalized
+// service every tenant has consumed — run cost divided by tenant weight,
+// charged by the Scheduler as runs complete — and pop always serves the
+// waiting tenant with the least normalized service. A weight-3 tenant
+// therefore accumulates service a third as fast as a weight-1 tenant and
+// is served ~3x as often under saturation, while an idle tenant's unused
+// share redistributes to whoever is waiting (max-min: nobody's allocation
+// can grow except by taking from someone with less). A higher band always
+// preempts the bands below it.
+//
+// Ties — in particular the all-zero-service case where no run has ever
+// been charged — fall back to the original rotation cursor, so the
+// unweighted behavior is exactly the historical per-tenant round-robin.
 //
 // The queue is not self-synchronized; the Scheduler accesses it under its
 // own mutex.
@@ -13,12 +23,16 @@ type fairQueue struct {
 	n     int
 }
 
-// band is one priority class: per-tenant FIFOs plus the rotation ring.
+// band is one priority class: per-tenant FIFOs, the rotation ring of
+// tenants with queued work, and the normalized-service ledger (which
+// outlives ring membership: a tenant keeps its service while it still has
+// running work, and sheds it through tenantExit when its last run ends).
 type band struct {
 	priority int
-	ring     []string // tenant rotation order
-	next     int      // ring index the next pop starts from
+	ring     []string // tenant rotation order (tenants with queued runs)
+	next     int      // ring index the next pop's scan starts from
 	fifos    map[string][]*run
+	service  map[string]float64 // normalized service per tenant; nil until first charge
 }
 
 func newFairQueue() *fairQueue {
@@ -27,20 +41,27 @@ func newFairQueue() *fairQueue {
 
 func (q *fairQueue) len() int { return q.n }
 
-// push appends r to its tenant's FIFO in the band for r.priority, creating
-// band and tenant slots on first use. New tenants join the rotation ring
-// at the end and are served within one full rotation.
-func (q *fairQueue) push(r *run) {
+// bandFor returns the band for priority, inserting it (sorted descending)
+// on first use.
+func (q *fairQueue) bandFor(priority int) *band {
 	i := 0
-	for i < len(q.bands) && q.bands[i].priority > r.priority {
+	for i < len(q.bands) && q.bands[i].priority > priority {
 		i++
 	}
-	if i == len(q.bands) || q.bands[i].priority != r.priority {
+	if i == len(q.bands) || q.bands[i].priority != priority {
 		q.bands = append(q.bands, nil)
 		copy(q.bands[i+1:], q.bands[i:])
-		q.bands[i] = &band{priority: r.priority, fifos: make(map[string][]*run)}
+		q.bands[i] = &band{priority: priority, fifos: make(map[string][]*run)}
 	}
-	b := q.bands[i]
+	return q.bands[i]
+}
+
+// push appends r to its tenant's FIFO in the band for r.priority, creating
+// band and tenant slots on first use. New tenants join the rotation ring
+// at the end and are served within one full rotation (sooner if their
+// normalized service is below the field's).
+func (q *fairQueue) push(r *run) {
+	b := q.bandFor(r.priority)
 	if _, ok := b.fifos[r.tenant]; !ok {
 		b.ring = append(b.ring, r.tenant)
 	}
@@ -48,37 +69,133 @@ func (q *fairQueue) push(r *run) {
 	q.n++
 }
 
-// pop removes and returns the next run: the highest non-empty priority
-// band, and within it the next tenant in rotation. Returns nil when empty.
+// pushFront requeues a preempted run ahead of everything its tenant has
+// waiting — the run was already dispatched once and resumes first — and
+// puts the tenant at the cursor so ties scan it next. Its accumulated
+// service is untouched: the tenant keeps the credit (and the debt) of the
+// work the run completed before yielding.
+func (q *fairQueue) pushFront(r *run) {
+	b := q.bandFor(r.priority)
+	if _, ok := b.fifos[r.tenant]; !ok {
+		if b.next > len(b.ring) {
+			b.next = len(b.ring)
+		}
+		b.ring = append(b.ring, "")
+		copy(b.ring[b.next+1:], b.ring[b.next:])
+		b.ring[b.next] = r.tenant
+	}
+	b.fifos[r.tenant] = append([]*run{r}, b.fifos[r.tenant]...)
+	q.n++
+}
+
+// pop removes and returns the next run: the highest priority band with
+// queued work, and within it the waiting tenant with the least normalized
+// service (ties resolve in rotation order from the cursor, which is the
+// historical round-robin). Returns nil when empty.
 func (q *fairQueue) pop() *run {
 	for bi := 0; bi < len(q.bands); bi++ {
 		b := q.bands[bi]
 		if len(b.ring) == 0 {
 			continue
 		}
-		if b.next >= len(b.ring) {
-			b.next = 0
-		}
-		tenant := b.ring[b.next]
+		i := b.sel()
+		tenant := b.ring[i]
 		fifo := b.fifos[tenant]
 		r := fifo[0]
 		fifo[0] = nil // release the reference for GC
 		if len(fifo) == 1 {
-			// Tenant emptied: leave the rotation; the cursor now points at
-			// the shifted-in successor, which is exactly the next tenant.
+			// Tenant's backlog emptied: leave the rotation; the cursor now
+			// points at the shifted-in successor, which is exactly the
+			// next tenant in rotation order.
 			delete(b.fifos, tenant)
-			b.ring = append(b.ring[:b.next], b.ring[b.next+1:]...)
+			b.ring = append(b.ring[:i], b.ring[i+1:]...)
+			if i < b.next {
+				b.next--
+			}
 		} else {
 			b.fifos[tenant] = fifo[1:]
-			b.next++
+			b.next = i + 1
 		}
-		if len(b.ring) == 0 {
+		if len(b.ring) == 0 && len(b.service) == 0 {
+			// Nothing queued and no service to remember: drop the band.
+			// A band with live service survives ring-empty so tenants
+			// with running work keep their ledger until tenantExit.
 			q.bands = append(q.bands[:bi], q.bands[bi+1:]...)
 		}
 		q.n--
 		return r
 	}
 	return nil
+}
+
+// sel picks the ring index to serve: the least-normalized-service tenant,
+// scanning from the cursor so equal-service tenants keep strict rotation
+// order. The common uncharged band (service ledger still nil) short-cuts
+// to the cursor itself — the historical O(1) round-robin pop.
+func (b *band) sel() int {
+	n := len(b.ring)
+	if b.next >= n {
+		b.next = 0
+	}
+	if len(b.service) == 0 || n == 1 {
+		return b.next
+	}
+	best := b.next
+	bestSvc := b.service[b.ring[best]]
+	for k := 1; k < n; k++ {
+		i := b.next + k
+		if i >= n {
+			i -= n
+		}
+		if svc := b.service[b.ring[i]]; svc < bestSvc {
+			best, bestSvc = i, svc
+		}
+	}
+	return best
+}
+
+// charge adds norm (cost divided by weight) to the tenant's normalized
+// service in the band for priority and returns the new total. The
+// Scheduler calls it as run attempts complete; the entry persists until
+// tenantExit so a tenant's share is enforced across its whole active
+// period, not per queue residency.
+func (q *fairQueue) charge(priority int, tenant string, norm float64) float64 {
+	b := q.bandFor(priority)
+	if b.service == nil {
+		b.service = make(map[string]float64)
+	}
+	b.service[tenant] += norm
+	return b.service[tenant]
+}
+
+// service returns the tenant's accumulated normalized service in the band
+// for priority (0 if the band or tenant has none).
+func (q *fairQueue) service(priority int, tenant string) float64 {
+	for _, b := range q.bands {
+		if b.priority == priority {
+			return b.service[tenant]
+		}
+	}
+	return 0
+}
+
+// tenantExit forgets a tenant's normalized service in every band — called
+// when its last queued-or-running run finishes, so a departing tenant
+// neither banks unbounded idle credit nor carries debt into its next
+// active period. Bands left with no queued work and no service are
+// dropped.
+func (q *fairQueue) tenantExit(tenant string) {
+	out := q.bands[:0]
+	for _, b := range q.bands {
+		delete(b.service, tenant)
+		if len(b.ring) > 0 || len(b.service) > 0 {
+			out = append(out, b)
+		}
+	}
+	for i := len(out); i < len(q.bands); i++ {
+		q.bands[i] = nil
+	}
+	q.bands = out
 }
 
 // drainAll removes and returns every queued run (used when a drain cancels

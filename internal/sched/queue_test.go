@@ -97,3 +97,101 @@ func TestFairQueueDrainAll(t *testing.T) {
 		t.Fatal("queue not empty after drainAll")
 	}
 }
+
+func TestFairQueueLeastServiceFirst(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 0, "a1"))
+	fq.push(q("B", 0, "b1"))
+	fq.push(q("C", 0, "c1"))
+	// A has consumed the most normalized service, C the least.
+	fq.charge(0, "A", 5)
+	fq.charge(0, "B", 2)
+	fq.charge(0, "C", 1)
+	popIDs(t, fq, "c1", "b1", "a1")
+}
+
+func TestFairQueueChargePersistsAcrossRequeue(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 0, "a1"))
+	fq.push(q("B", 0, "b1"))
+	fq.charge(0, "A", 4)
+	// A's backlog empties...
+	popIDs(t, fq, "b1", "a1")
+	if got := fq.service(0, "A"); got != 4 {
+		t.Fatalf("service(A) = %v after backlog drained, want 4", got)
+	}
+	// ...and when it returns, its earlier service still counts against it.
+	fq.push(q("A", 0, "a2"))
+	fq.push(q("B", 0, "b2"))
+	popIDs(t, fq, "b2", "a2")
+}
+
+func TestFairQueueTenantExitForfeitsService(t *testing.T) {
+	fq := newFairQueue()
+	fq.charge(0, "A", 9)
+	fq.charge(0, "B", 1)
+	fq.tenantExit(t.Name()) // unknown tenant: no-op
+	fq.tenantExit("A")
+	if got := fq.service(0, "A"); got != 0 {
+		t.Fatalf("service(A) = %v after tenantExit, want 0", got)
+	}
+	// A re-enters with a clean slate and outranks the still-charged B.
+	fq.push(q("B", 0, "b1"))
+	fq.push(q("A", 0, "a1"))
+	popIDs(t, fq, "a1", "b1")
+	// Popping the last runs drops the band only once all service is gone.
+	fq.tenantExit("B")
+	if len(fq.bands) != 0 {
+		t.Fatalf("%d bands left after final tenantExit, want 0", len(fq.bands))
+	}
+}
+
+func TestFairQueuePushFrontResumesFirst(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 0, "a1"))
+	fq.push(q("B", 0, "b1"))
+	popIDs(t, fq, "a1")
+	// a1 comes back preempted with its tenant's backlog empty: the tenant
+	// re-enters the ring at the cursor (served next on equal service) and
+	// the resumed run goes ahead of anything pushed behind it.
+	fq.pushFront(q("A", 0, "a1"))
+	fq.push(q("A", 0, "a2"))
+	popIDs(t, fq, "a1", "b1", "a2")
+}
+
+func TestFairQueuePushFrontKeepsRotationWhenQueued(t *testing.T) {
+	fq := newFairQueue()
+	fq.push(q("A", 0, "a1"))
+	fq.push(q("A", 0, "a2"))
+	fq.push(q("B", 0, "b1"))
+	popIDs(t, fq, "a1")
+	// A still has a2 queued, so the tenant keeps its (already rotated past)
+	// ring slot; only the run order within A's FIFO changes.
+	fq.pushFront(q("A", 0, "a1"))
+	popIDs(t, fq, "b1", "a1", "a2")
+}
+
+// TestFairQueueProportionalAllocation drives the queue the way the
+// Scheduler does — pop, charge cost/weight, repeat — and checks a weight-4
+// tenant is served ~4x as often as a weight-1 tenant.
+func TestFairQueueProportionalAllocation(t *testing.T) {
+	fq := newFairQueue()
+	weights := map[string]float64{"lo": 1, "hi": 4}
+	backlog := map[string]int{"lo": 40, "hi": 40}
+	for tenant := range weights {
+		fq.push(q(tenant, 0, tenant))
+	}
+	served := map[string]int{}
+	for i := 0; i < 50; i++ {
+		r := fq.pop()
+		served[r.tenant]++
+		fq.charge(0, r.tenant, 1/weights[r.tenant])
+		if backlog[r.tenant]--; backlog[r.tenant] > 0 {
+			fq.push(q(r.tenant, 0, r.tenant))
+		}
+	}
+	if served["hi"] < 36 || served["hi"] > 44 {
+		t.Fatalf("weight-4 tenant served %d of 50, want ~40 (weight-1 got %d)",
+			served["hi"], served["lo"])
+	}
+}

@@ -5,18 +5,32 @@
 // The paper's ADM/agent architecture manages a single application per
 // runtime. Serving heavy traffic needs the complementary layer grid
 // schedulers put in front of per-run engines: admission control that
-// rejects work the pool cannot absorb, a priority queue with per-tenant
-// fairness so one tenant's flood cannot starve the rest, per-run isolation
-// so a panic or lost-worker failure in one run never disturbs another, and
-// graceful drain — stop admitting, interrupt in-flight runs at their next
-// regrid boundary so they checkpoint through the internal/checkpoint path,
-// and hand back a set of resumable run records.
+// rejects work the pool cannot absorb, a priority queue with weighted
+// per-tenant fairness so one tenant's flood cannot starve the rest,
+// per-run isolation so a panic or lost-worker failure in one run never
+// disturbs another, and graceful drain — stop admitting, interrupt
+// in-flight runs at their next regrid boundary so they checkpoint through
+// the internal/checkpoint path, and hand back a set of resumable run
+// records.
+//
+// Fairness is weighted max-min with proportional allocation: every tenant
+// carries a weight (submit param weight=, default 1), the scheduler
+// charges each completed run attempt's cost — completed regrid intervals,
+// or wall-clock seconds for runs that report none — divided by the weight
+// as normalized service, and the queue always dispatches the waiting
+// tenant with the least normalized service in the highest busy band. On
+// top of it sits checkpoint-based preemption: a submit from a tenant far
+// below its fair share (or from a higher band) that finds the pool
+// saturated fires the most over-share running run's interrupt channel;
+// that run checkpoints at its next regrid boundary exactly as a drain
+// would, transitions to StatePreempted, and is requeued resumable with
+// its service credit intact while the preemptor takes the worker.
 //
 // Concurrency model: exactly Config.Workers goroutines execute runs; Submit
-// never spawns. Admitted runs wait in a fairQueue (priority bands, tenant
-// round-robin). Drain closes one shared interrupt channel that every
-// in-flight core.Run polls at regrid boundaries, cancels the backlog, and
-// waits for the pool to exit.
+// never spawns. Admitted runs wait in a fairQueue (priority bands, weighted
+// max-min tenant selection). Each dispatch gets its own interrupt channel,
+// closed either by a preemption (that one run yields) or by Drain (every
+// in-flight run checkpoints, the backlog is cancelled, the pool exits).
 package sched
 
 import (
@@ -70,6 +84,16 @@ type Config struct {
 	// blocks: a slow subscriber drops events and is marked lagging,
 	// costing the scheduler nothing (see internal/stream).
 	Events *stream.Hub
+	// PreemptRatio tunes checkpoint-based preemption. When a submit finds
+	// every worker busy, the scheduler picks the running run whose tenant
+	// is most over-share (lowest band first, then highest normalized
+	// service) and interrupts it if the submitter outranks it — a higher
+	// priority band, or the same band with the victim's normalized service
+	// more than PreemptRatio times the submitter's (default 2). The victim
+	// checkpoints at its next regrid boundary and is requeued resumable.
+	// Negative disables preemption entirely; runs then yield workers only
+	// by finishing.
+	PreemptRatio float64
 }
 
 func (c *Config) fill() {
@@ -82,6 +106,33 @@ func (c *Config) fill() {
 	if c.KeepFinished <= 0 {
 		c.KeepFinished = 1024
 	}
+	if c.PreemptRatio == 0 {
+		c.PreemptRatio = 2
+	}
+}
+
+// Tenant weight bounds. A submission's Weight is clamped into
+// [MinWeight, MaxWeight]; zero means "keep the tenant's current weight"
+// (DefaultWeight for a tenant that never declared one).
+const (
+	DefaultWeight = 1.0
+	MinWeight     = 0.125
+	MaxWeight     = 64.0
+)
+
+// clampWeight normalizes a submitted weight: zero or negative (and NaN)
+// fall back to DefaultWeight, the rest clamp into [MinWeight, MaxWeight].
+func clampWeight(w float64) float64 {
+	if !(w > 0) { // catches <= 0 and NaN
+		return DefaultWeight
+	}
+	if w < MinWeight {
+		return MinWeight
+	}
+	if w > MaxWeight {
+		return MaxWeight
+	}
+	return w
 }
 
 // RunSpec describes one run to execute: the inputs core.Run needs plus the
@@ -137,8 +188,15 @@ type SubmitRequest struct {
 	// ("" is itself a tenant).
 	Tenant string
 	// Priority orders admitted runs: higher runs first; equal priorities
-	// are served tenant-round-robin.
+	// are served by weighted max-min fairness across tenants.
 	Priority int
+	// Weight sets the tenant's fair-share weight: under saturation a
+	// weight-3 tenant completes ~3x the work of a weight-1 tenant in the
+	// same band. Zero keeps the tenant's current weight (DefaultWeight if
+	// it never declared one); non-zero values are clamped into
+	// [MinWeight, MaxWeight] and become the tenant's weight for all its
+	// queued and future runs.
+	Weight float64
 	// Spec is the run to execute.
 	Spec RunSpec
 	// RunFunc, when non-nil, replaces Spec entirely: the scheduler calls
@@ -151,10 +209,12 @@ type SubmitRequest struct {
 // State is a run's lifecycle phase.
 type State string
 
-// Run states. Queued and Running are transient; the rest are terminal.
+// Run states. Queued, Running and Preempted are transient; the rest are
+// terminal.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
+	StatePreempted State = "preempted" // yielded its worker at a regrid boundary; requeued resumable
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateDrained   State = "drained"   // interrupted at a regrid boundary; checkpointed if configured
@@ -171,7 +231,9 @@ type RunStatus struct {
 	ID       string `json:"id"`
 	Tenant   string `json:"tenant"`
 	Priority int    `json:"priority"`
-	State    State  `json:"state"`
+	// Weight is the tenant's fair-share weight as of this run's admission.
+	Weight float64 `json:"weight"`
+	State  State   `json:"state"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
@@ -180,6 +242,11 @@ type RunStatus struct {
 	// QueueSeconds and RunSeconds are filled as the phases complete.
 	QueueSeconds float64 `json:"queueSeconds"`
 	RunSeconds   float64 `json:"runSeconds"`
+
+	// Preemptions counts how many times this run was interrupted to hand
+	// its worker to an under-share or higher-band submission; each one
+	// checkpointed the run and requeued it resumable.
+	Preemptions int `json:"preemptions,omitempty"`
 
 	// Error describes a failed run, or the interrupt a drained one
 	// stopped with.
@@ -201,7 +268,9 @@ type run struct {
 	id       string
 	tenant   string
 	priority int
+	weight   float64
 	spec     RunSpec
+	fromSpec bool // built from Spec (true) or a caller RunFunc (false)
 	runFn    func(interrupt <-chan struct{}) (*core.RunResult, error)
 
 	state     State
@@ -212,17 +281,33 @@ type run struct {
 	errText   string // err.Error(), cached once at finish for the hot status path
 	result    *core.RunResult
 	done      chan struct{} // closed on terminal state
+
+	// Per-dispatch interrupt plumbing: a fresh channel per attempt,
+	// closed once by a preemption or a drain (intClosed guards the close).
+	interrupt chan struct{}
+	intClosed bool
+	// preempting marks a run whose interrupt was fired to yield its
+	// worker (as opposed to a drain); finish requeues it instead of
+	// recording a terminal state.
+	preempting  bool
+	preemptions int
+	// charged is the cumulative cost already billed to the tenant for
+	// this run, so a preempted-and-resumed run is only charged the delta
+	// each attempt adds.
+	charged float64
 }
 
 func (r *run) status() RunStatus {
 	st := RunStatus{
-		ID:        r.id,
-		Tenant:    r.tenant,
-		Priority:  r.priority,
-		State:     r.state,
-		Submitted: r.submitted,
-		Started:   r.started,
-		Finished:  r.finished,
+		ID:          r.id,
+		Tenant:      r.tenant,
+		Priority:    r.priority,
+		Weight:      r.weight,
+		State:       r.state,
+		Submitted:   r.submitted,
+		Started:     r.started,
+		Finished:    r.finished,
+		Preemptions: r.preemptions,
 	}
 	if !r.started.IsZero() {
 		st.QueueSeconds = r.started.Sub(r.submitted).Seconds()
@@ -233,7 +318,7 @@ func (r *run) status() RunStatus {
 	if r.err != nil {
 		st.Error = r.errText
 	}
-	if r.state == StateDrained {
+	if r.state == StateDrained || r.state == StatePreempted {
 		st.Resumable = r.spec.CheckpointDir != ""
 		st.CheckpointDir = r.spec.CheckpointDir
 	}
@@ -257,24 +342,29 @@ type Stats struct {
 	Failed    int `json:"failed"`
 	Drained   int `json:"drained"`
 	Cancelled int `json:"cancelled"`
+	// Preemptions counts checkpoint-based preemptions fired since start.
+	Preemptions int `json:"preemptions"`
 }
 
 // Scheduler multiplexes runs over a bounded worker pool.
 type Scheduler struct {
-	cfg     Config
-	drainCh chan struct{}
+	cfg Config
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	queue      *fairQueue
-	runs       map[string]*run
-	finished   []string // eviction order of terminal records
-	tenantLoad map[string]int
-	counts     map[State]int
-	active     int
-	submitted  int
-	seq        int
-	draining   bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       *fairQueue
+	runs        map[string]*run
+	running     map[string]*run // dispatched and executing (preemption victim pool)
+	finished    []string        // eviction order of terminal records
+	tenantLoad  map[string]int
+	weights     map[string]float64       // current weight per active tenant
+	gauges      map[string]*tenantGauges // pre-resolved per-tenant metric children
+	counts      map[State]int
+	active      int
+	submitted   int
+	seq         int
+	preemptions int
+	draining    bool
 
 	wg       sync.WaitGroup
 	stopOnce sync.Once
@@ -287,11 +377,13 @@ func New(cfg Config) *Scheduler {
 	cfg.fill()
 	s := &Scheduler{
 		cfg:        cfg,
-		drainCh:    make(chan struct{}),
 		stopped:    make(chan struct{}),
 		queue:      newFairQueue(),
 		runs:       make(map[string]*run),
+		running:    make(map[string]*run),
 		tenantLoad: make(map[string]int),
+		weights:    make(map[string]float64),
+		gauges:     make(map[string]*tenantGauges),
 		counts:     make(map[State]int),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -385,13 +477,23 @@ func (s *Scheduler) Submit(req SubmitRequest) (RunStatus, error) {
 		admitSaturated.Inc()
 		return RunStatus{}, fmt.Errorf("sched: queue at limit %d: %w", s.cfg.QueueLimit, ErrSaturated)
 	}
+	w := s.weights[req.Tenant]
+	if req.Weight != 0 {
+		w = clampWeight(req.Weight)
+		s.weights[req.Tenant] = w
+	} else if w == 0 {
+		w = DefaultWeight
+		s.weights[req.Tenant] = w
+	}
 	s.seq++
 	r := &run{
 		seq:       s.seq,
 		id:        fmt.Sprintf("run-%06d", s.seq),
 		tenant:    req.Tenant,
 		priority:  req.Priority,
+		weight:    w,
 		spec:      req.Spec,
+		fromSpec:  req.RunFunc == nil,
 		runFn:     req.RunFunc,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -405,6 +507,8 @@ func (s *Scheduler) Submit(req SubmitRequest) (RunStatus, error) {
 	s.tenantLoad[r.tenant]++
 	s.queue.push(r)
 	metricQueueDepth.Set(float64(s.queue.len()))
+	s.gaugesLocked(r.tenant).weight.Set(w)
+	s.maybePreemptLocked(r)
 	s.publishState(r)
 	st := r.status()
 	s.mu.Unlock()
@@ -412,6 +516,64 @@ func (s *Scheduler) Submit(req SubmitRequest) (RunStatus, error) {
 	admitAccepted.Inc()
 	s.cond.Signal()
 	return st, nil
+}
+
+// maybePreemptLocked fires checkpoint-based preemption for a freshly
+// queued run when the pool is saturated and the submitter outranks a
+// running run: a higher priority band, or the same band with the victim's
+// tenant more than Config.PreemptRatio times over the submitter's
+// normalized service. The victim — lowest band first, then the most
+// over-share tenant — has its interrupt channel closed; it checkpoints at
+// its next regrid boundary and finish requeues it resumable. Only runs
+// that can actually resume are eligible: spec runs need a CheckpointDir
+// (restarting a half-advanced strategy is not bit-identical), RunFunc
+// runs opted into interrupt handling by taking the channel. Runs never
+// preempt their own tenant — the submitter would just wait behind itself.
+func (s *Scheduler) maybePreemptLocked(sub *run) {
+	if s.cfg.PreemptRatio < 0 || s.active < s.cfg.Workers || s.draining {
+		return
+	}
+	var victim *run
+	var victimSvc float64
+	for _, v := range s.running {
+		if v.preempting || v.tenant == sub.tenant {
+			continue
+		}
+		if v.fromSpec && v.spec.CheckpointDir == "" {
+			continue
+		}
+		svc := s.queue.service(v.priority, v.tenant)
+		if victim == nil || v.priority < victim.priority ||
+			(v.priority == victim.priority && svc > victimSvc) {
+			victim, victimSvc = v, svc
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if victim.priority >= sub.priority {
+		if victim.priority > sub.priority {
+			return
+		}
+		subSvc := s.queue.service(sub.priority, sub.tenant)
+		if victimSvc <= subSvc || victimSvc <= subSvc*s.cfg.PreemptRatio {
+			return
+		}
+	}
+	victim.preempting = true
+	victim.preemptions++
+	s.preemptions++
+	s.closeInterruptLocked(victim)
+	metricPreemptions.Inc()
+}
+
+// closeInterruptLocked fires a run's per-dispatch interrupt channel at
+// most once. Callers hold s.mu.
+func (s *Scheduler) closeInterruptLocked(r *run) {
+	if r.interrupt != nil && !r.intClosed {
+		r.intClosed = true
+		close(r.interrupt)
+	}
 }
 
 // worker is one pool goroutine: it executes queued runs until a drain
@@ -430,6 +592,10 @@ func (s *Scheduler) worker() {
 		}
 		r.state = StateRunning
 		r.started = time.Now()
+		r.interrupt = make(chan struct{})
+		r.intClosed = false
+		r.preempting = false
+		s.running[r.id] = r
 		s.active++
 		metricQueueDepth.Set(float64(s.queue.len()))
 		metricActiveRuns.Set(float64(s.active))
@@ -450,11 +616,14 @@ func (s *Scheduler) execute(r *run) {
 			s.finish(r, nil, fmt.Errorf("sched: run panicked: %v", p))
 		}
 	}()
-	res, err := r.runFn(s.drainCh)
+	res, err := r.runFn(r.interrupt)
 	s.finish(r, res, err)
 }
 
-// finish records r's terminal state and releases its tenant slot.
+// finish settles a completed run attempt: it charges the attempt's cost
+// to the tenant's normalized service, then either requeues a preempted
+// run resumable or records the terminal state and releases the tenant
+// slot.
 func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
 	state := StateDone
 	switch {
@@ -466,6 +635,33 @@ func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
 	}
 
 	s.mu.Lock()
+	delete(s.running, r.id)
+	s.chargeLocked(r, res, err)
+	if state == StateDrained && r.preempting && !s.draining {
+		// Preempted, not drained: the run checkpointed at its regrid
+		// boundary to yield the worker. Requeue it at the front of its
+		// tenant's FIFO — service credit intact — flagged to resume from
+		// the checkpoint on its next dispatch.
+		r.preempting = false
+		r.state = StatePreempted
+		r.err = nil
+		r.errText = ""
+		if r.fromSpec && r.spec.CheckpointDir != "" {
+			r.spec.Resume = true
+			r.runFn = s.specRunFn(r.id, r.spec)
+		}
+		s.active--
+		s.queue.pushFront(r)
+		metricActiveRuns.Set(float64(s.active))
+		metricQueueDepth.Set(float64(s.queue.len()))
+		s.publishState(r)
+		s.mu.Unlock()
+
+		metricOutcomes.With(string(StatePreempted)).Inc()
+		s.cond.Signal()
+		return
+	}
+	r.preempting = false
 	r.state = state
 	r.finished = time.Now()
 	r.result = res
@@ -477,6 +673,7 @@ func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
 	s.tenantLoad[r.tenant]--
 	if s.tenantLoad[r.tenant] <= 0 {
 		delete(s.tenantLoad, r.tenant)
+		s.tenantExitLocked(r.tenant)
 	}
 	s.counts[state]++
 	s.retire(r)
@@ -487,6 +684,65 @@ func (s *Scheduler) finish(r *run, res *core.RunResult, err error) {
 	metricOutcomes.With(string(state)).Inc()
 	metricRunSeconds.With(string(state)).Observe(r.finished.Sub(r.started).Seconds())
 	close(r.done)
+}
+
+// chargeLocked bills the tenant for the progress this attempt made, in
+// cost units — completed regrid intervals when the run reports them
+// (result snapshots, or the interrupt's resume point), wall-clock seconds
+// otherwise — normalized by the tenant's weight. Charges are cumulative
+// per run (r.charged), so a preempted-then-resumed run pays only the
+// delta each attempt adds. Callers hold s.mu.
+func (s *Scheduler) chargeLocked(r *run, res *core.RunResult, err error) {
+	var total float64
+	switch {
+	case res != nil && len(res.Snapshots) > 0:
+		total = float64(len(res.Snapshots))
+	default:
+		if n, ok := interruptedAt(err); ok {
+			total = n
+		} else {
+			total = r.charged + time.Since(r.started).Seconds()
+		}
+	}
+	delta := total - r.charged
+	if !(delta > 0) { // also guards NaN from a pathological RunFunc result
+		return
+	}
+	r.charged = total
+	w := r.weight
+	if w <= 0 {
+		w = DefaultWeight
+	}
+	norm := delta / w
+	svc := s.queue.charge(r.priority, r.tenant, norm)
+	g := s.gaugesLocked(r.tenant)
+	g.cost.Add(delta)
+	g.service.Set(svc)
+	metricNormalizedService.Observe(norm)
+}
+
+// interruptedAt reports the resume point of an interrupted attempt. Kept
+// out of chargeLocked so the errors.As target only escapes to the heap on
+// the rare interrupted path, not on every clean completion.
+func interruptedAt(err error) (float64, bool) {
+	if err == nil {
+		return 0, false
+	}
+	var ie *core.InterruptedError
+	if errors.As(err, &ie) {
+		return float64(ie.Next), true
+	}
+	return 0, false
+}
+
+// tenantExitLocked forgets a tenant whose last queued-or-running run just
+// finished: its normalized-service ledger and declared weight reset, so
+// the next active period starts fresh (no banked idle credit, no carried
+// debt). Callers hold s.mu.
+func (s *Scheduler) tenantExitLocked(tenant string) {
+	s.queue.tenantExit(tenant)
+	delete(s.weights, tenant)
+	s.gaugesLocked(tenant).service.Set(0)
 }
 
 // retire appends r to the terminal-record ring, evicting the oldest
@@ -510,21 +766,31 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		metricDrains.Inc()
-		close(s.drainCh) // interrupt every in-flight core.Run
+		for _, r := range s.running {
+			s.closeInterruptLocked(r) // interrupt every in-flight run
+		}
 		cancelled := s.queue.drainAll()
 		metricQueueDepth.Set(0)
 		now := time.Now()
 		for _, r := range cancelled {
-			r.state = StateCancelled
+			// A preempted run already checkpointed at a regrid boundary;
+			// it leaves as drained-resumable, exactly as if the drain had
+			// interrupted it itself. Never-started runs are cancelled.
+			state := StateCancelled
+			if r.state == StatePreempted {
+				state = StateDrained
+			}
+			r.state = state
 			r.finished = now
 			s.tenantLoad[r.tenant]--
 			if s.tenantLoad[r.tenant] <= 0 {
 				delete(s.tenantLoad, r.tenant)
+				s.tenantExitLocked(r.tenant)
 			}
-			s.counts[StateCancelled]++
+			s.counts[state]++
 			s.retire(r)
 			s.publishState(r)
-			metricOutcomes.With(string(StateCancelled)).Inc()
+			metricOutcomes.With(string(state)).Inc()
 			close(r.done)
 		}
 		s.cond.Broadcast()
@@ -649,5 +915,6 @@ func (s *Scheduler) Stats() Stats {
 		Failed:      s.counts[StateFailed],
 		Drained:     s.counts[StateDrained],
 		Cancelled:   s.counts[StateCancelled],
+		Preemptions: s.preemptions,
 	}
 }

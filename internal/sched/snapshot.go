@@ -25,8 +25,12 @@ type SnapshotRun struct {
 	Priority int        `json:"priority"`
 	State    State      `json:"state"`
 	Wire     url.Values `json:"wire"`
-	// Resume marks a drained run with a checkpoint on disk: Restore sets
-	// Spec.Resume so the run continues from its last regrid boundary.
+	// Weight is the tenant's fair-share weight at snapshot time, so a
+	// restored backlog keeps its proportional-allocation shape.
+	Weight float64 `json:"weight,omitempty"`
+	// Resume marks a drained or preempted run with a checkpoint on disk:
+	// Restore sets Spec.Resume so the run continues from its last regrid
+	// boundary.
 	Resume bool `json:"resume,omitempty"`
 }
 
@@ -39,7 +43,8 @@ type snapshotDoc struct {
 }
 
 // Snapshot serializes the scheduler's restorable backlog — queued runs,
-// runs the drain cancelled before they started, and drained runs — into a
+// preempted runs waiting to resume, runs the drain cancelled before they
+// started, and drained runs — into a
 // CRC-verified checkpoint container, so a serving process can roll
 // (drain, exit, restart, Restore) without losing a single admitted run.
 //
@@ -56,7 +61,7 @@ func (s *Scheduler) Snapshot() (data []byte, skipped int, err error) {
 	rs := make([]*run, 0, len(s.runs))
 	for _, r := range s.runs {
 		switch r.state {
-		case StateQueued, StateCancelled, StateDrained:
+		case StateQueued, StatePreempted, StateCancelled, StateDrained:
 			rs = append(rs, r)
 		}
 	}
@@ -73,7 +78,9 @@ func (s *Scheduler) Snapshot() (data []byte, skipped int, err error) {
 			Priority: r.priority,
 			State:    r.state,
 			Wire:     r.spec.Wire,
-			Resume:   r.state == StateDrained && r.spec.CheckpointDir != "",
+			Weight:   r.weight,
+			Resume: (r.state == StateDrained || r.state == StatePreempted) &&
+				r.spec.CheckpointDir != "",
 		})
 	}
 	s.mu.Unlock()
@@ -121,7 +128,7 @@ func (s *Scheduler) Restore(data []byte, build SpecBuilder) (restored int, err e
 		if sr.Resume {
 			spec.Resume = true
 		}
-		if _, serr := s.Submit(SubmitRequest{Tenant: sr.Tenant, Priority: sr.Priority, Spec: spec}); serr != nil {
+		if _, serr := s.Submit(SubmitRequest{Tenant: sr.Tenant, Priority: sr.Priority, Weight: sr.Weight, Spec: spec}); serr != nil {
 			errs = append(errs, fmt.Errorf("sched: restore %s: %w", sr.ID, serr))
 			continue
 		}

@@ -177,3 +177,74 @@ func TestRestoreRejectsCorruptAndForeign(t *testing.T) {
 		t.Error("nil builder accepted")
 	}
 }
+
+// TestSnapshotCarriesWeights proves tenant weights survive the
+// snapshot/restore roll: a restored backlog is re-admitted with the same
+// per-tenant weights it was submitted with.
+func TestSnapshotCarriesWeights(t *testing.T) {
+	ckptRoot := t.TempDir()
+	build := snapshotBuilder(t, ckptRoot)
+	s1 := New(Config{Workers: 1, QueueLimit: 16})
+
+	// Park the worker so the weighted runs stay queued for the snapshot.
+	block := make(chan struct{})
+	if _, err := s1.Submit(SubmitRequest{RunFunc: func(<-chan struct{}) (*core.RunResult, error) {
+		<-block
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "gate run to occupy the worker", func() bool {
+		return s1.Stats().Active == 1
+	})
+	weights := map[string]float64{"gold": 8, "coach": 0.5}
+	for tenant := range weights {
+		spec, err := build(tenant, 0, wireValues(tenant, "job"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Wire = wireValues(tenant, "job")
+		st, err := s1.Submit(SubmitRequest{Tenant: tenant, Weight: weights[tenant], Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Weight != weights[tenant] {
+			t.Fatalf("tenant %s submitted at weight %v, status says %v", tenant, weights[tenant], st.Weight)
+		}
+	}
+
+	data, skipped, err := s1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d, want 0 (the gate run is in flight, not backlog)", skipped)
+	}
+	close(block)
+
+	s2 := New(Config{Workers: 1, QueueLimit: 16})
+	defer s2.Close()
+	restored, err := s2.Restore(data, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Fatalf("restored %d runs, want 2", restored)
+	}
+	waitFor(t, "restored runs to finish", func() bool { return s2.Stats().Done == 2 })
+	seen := 0
+	for _, st := range s2.Runs() {
+		want, ok := weights[st.Tenant]
+		if !ok {
+			t.Errorf("unexpected restored tenant %q", st.Tenant)
+			continue
+		}
+		seen++
+		if st.Weight != want {
+			t.Errorf("restored tenant %s at weight %v, want %v", st.Tenant, st.Weight, want)
+		}
+	}
+	if seen != 2 {
+		t.Errorf("saw %d restored runs, want 2", seen)
+	}
+}

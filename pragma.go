@@ -561,6 +561,12 @@ func WithInterrupt(ch <-chan struct{}) RunOption {
 // (test with errors.Is); the run is resumable via WithResume.
 var ErrRunInterrupted = core.ErrInterrupted
 
+// RunInterruptedError is the concrete error an interrupted Execute returns
+// (extract with errors.As): it wraps ErrRunInterrupted and records the
+// resume point and the intervals this attempt completed, which is how the
+// Scheduler charges exact progress when it preempts a run.
+type RunInterruptedError = core.InterruptedError
+
 // Execute replays the trace and returns the execution profile.
 func (r Runtime) Execute(opts ...RunOption) (*RunResult, error) {
 	strat := r.Strategy
@@ -618,15 +624,17 @@ func RegisterQueueDepthGauge(c *MessageCenter) { agents.RegisterQueueDepthGauge(
 // DESIGN.md §12 for the admission, fairness and drain semantics.
 type (
 	// Scheduler is the multi-tenant run scheduler: many concurrent runs
-	// through one bounded worker pool, with admission control, per-tenant
-	// fairness, per-run isolation, and graceful drain.
+	// through one bounded worker pool, with admission control, weighted
+	// max-min fairness across tenants, checkpoint-based preemption,
+	// per-run isolation, and graceful drain.
 	Scheduler = sched.Scheduler
 	// SchedulerConfig sizes a Scheduler (pool, queue and tenant limits).
 	SchedulerConfig = sched.Config
 	// SchedulerRunSpec describes one run to execute: the Runtime inputs
 	// plus the checkpoint configuration that makes the run drainable.
 	SchedulerRunSpec = sched.RunSpec
-	// SchedulerSubmission is one admission attempt (tenant, priority, spec).
+	// SchedulerSubmission is one admission attempt (tenant, priority,
+	// fair-share weight, spec).
 	SchedulerSubmission = sched.SubmitRequest
 	// SchedulerRunStatus is the externally visible snapshot of one run.
 	SchedulerRunStatus = sched.RunStatus
